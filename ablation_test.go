@@ -1,0 +1,85 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the distributed steal chunk size (paper §V-B3 picks 2 empirically) and
+// Algorithm 1's utilization-aware mapping of flexible tasks (lines 5–8).
+//
+//	go test -bench=BenchmarkAblation -benchtime=1x -v .
+package distws_test
+
+import (
+	"testing"
+
+	"distws/internal/apps/suite"
+	"distws/internal/sched"
+	"distws/internal/sim"
+)
+
+// BenchmarkAblationChunkSize sweeps the distributed steal chunk size on
+// the UTS and DMG traces. The paper's choice of 2 should be at or near
+// the minimum makespan; large chunks oversteal and re-imbalance.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	r := runner()
+	apps := []string{"uts", "dmg"}
+	for i := 0; i < b.N; i++ {
+		for _, name := range apps {
+			app, err := suite.ByName(name, suite.Small, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := r.Trace(app, r.Cluster.Places)
+			if err != nil {
+				b.Fatal(err)
+			}
+			best, bestChunk := 0.0, 0
+			for _, chunk := range []int{1, 2, 4, 8} {
+				res, err := sim.Run(g, r.Cluster, sched.DistWS,
+					sim.Options{Seed: 1, ChunkOverride: chunk})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s chunk=%d: speedup %.1f, remote steals %d, messages %d",
+						name, chunk, res.Speedup(), res.Counters.RemoteSteals, res.Counters.Messages)
+				}
+				if res.Speedup() > best {
+					best, bestChunk = res.Speedup(), chunk
+				}
+			}
+			if i == 0 {
+				b.Logf("%s: best chunk %d (paper picks 2)", name, bestChunk)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMappingRule disables the idle/under-utilized mapping
+// exception of Algorithm 1 (every flexible task goes to the shared
+// deque) and compares against full DistWS.
+func BenchmarkAblationMappingRule(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"quicksort", "turingring", "dmg"} {
+			app, err := suite.ByName(name, suite.Small, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := r.Trace(app, r.Cluster.Places)
+			if err != nil {
+				b.Fatal(err)
+			}
+			full, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			forced, err := sim.Run(g, r.Cluster, sched.DistWS,
+				sim.Options{Seed: 1, ForceSharedFlexible: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("%s: DistWS %.1f (msgs %d) vs always-shared %.1f (msgs %d)",
+					name, full.Speedup(), full.Counters.Messages,
+					forced.Speedup(), forced.Counters.Messages)
+			}
+		}
+	}
+}

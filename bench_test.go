@@ -1,0 +1,213 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. One target per exhibit:
+//
+//	go test -bench=BenchmarkFig5SpeedupSweep -benchmem
+//	go test -bench=. -benchmem          # the full evaluation
+//
+// Each iteration reruns the corresponding experiment end-to-end on the
+// virtual 16×8 cluster (application traces are cached across iterations,
+// as they are input data, not the system under test). The -v output of
+// the experiment content itself comes from cmd/distws-experiments and the
+// internal/expt tests; the benchmarks measure the cost of regenerating
+// the exhibits and act as regression anchors for the harness.
+package distws_test
+
+import (
+	"sync"
+	"testing"
+
+	"distws"
+	"distws/internal/apps/suite"
+	"distws/internal/expt"
+	"distws/internal/sched"
+	"distws/internal/sim"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *expt.Runner
+)
+
+// runner returns a shared experiment runner with warmed trace caches so
+// benchmark iterations measure simulation, not workload generation.
+func runner() *expt.Runner {
+	benchOnce.Do(func() {
+		benchRunner = expt.New(suite.Small, 1)
+	})
+	return benchRunner
+}
+
+// BenchmarkFig3StealsToTaskRatio regenerates Fig. 3 (steals-to-task
+// ratios under DistWS at 128 workers).
+func BenchmarkFig3StealsToTaskRatio(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig4SequentialTime regenerates Fig. 4 (sequential execution
+// times, virtual and host wall clock).
+func BenchmarkFig4SequentialTime(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5SpeedupSweep regenerates Fig. 5 (X10WS vs DistWS speedups
+// over 1–16 places at 8 workers per place).
+func BenchmarkFig5SpeedupSweep(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			last := row.Cells[len(row.Cells)-1]
+			if last.DistWS < last.X10WS*0.99 {
+				b.Fatalf("%s: DistWS regressed below X10WS at 128 workers", row.App)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Granularity regenerates Table I (task granularities).
+func BenchmarkTable1Granularity(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2CacheMissRates regenerates Table II (modelled L1d miss
+// rates for X10WS / DistWS-NS / DistWS at 128 workers).
+func BenchmarkTable2CacheMissRates(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Messages regenerates Table III (messages across nodes).
+func BenchmarkTable3Messages(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6PolicyComparison regenerates Fig. 6 (three-policy speedup
+// comparison at 128 workers).
+func BenchmarkFig6PolicyComparison(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7NodeUtilization regenerates Fig. 7 (per-node CPU
+// utilization and its spread under the three policies).
+func BenchmarkFig7NodeUtilization(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGranularityStudy regenerates the §VIII-Q2 fine-grained
+// micro-application study.
+func BenchmarkGranularityStudy(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.GranularityStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUTSComparison regenerates the §X UTS study (RandomWS vs
+// LifelineWS vs DistWS).
+func BenchmarkUTSComparison(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.UTSStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator128Workers measures raw simulator throughput on the
+// cached DMG trace at full cluster width.
+func BenchmarkSimulator128Workers(b *testing.B) {
+	r := runner()
+	app, err := suite.ByName("dmg", suite.Small, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := r.Trace(app, r.Cluster.Places)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeFanout measures the real goroutine runtime: spawning
+// and executing a fan-out of flexible tasks across 4 places, with the
+// default mutex-guarded private deques and with lock-free Chase–Lev
+// deques (§V's steal-interruption trade-off).
+func BenchmarkRuntimeFanout(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		lockFree bool
+	}{{"mutex-deques", false}, {"chaselev-deques", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, err := distws.New(distws.Config{
+				Cluster:        distws.Cluster{Places: 4, WorkersPerPlace: 2},
+				Policy:         distws.DistWS,
+				LockFreeDeques: mode.lockFree,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := rt.Run(func(ctx *distws.Ctx) {
+					ctx.Finish(func(c *distws.Ctx) {
+						for j := 0; j < 256; j++ {
+							c.AsyncAny(j%4, func(*distws.Ctx) {})
+						}
+					})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Command distws-node runs DistWS places as separate OS processes over
+// TCP, demonstrating the transport layer (internal/comm) and the remote
+// task registry (internal/task) on a real network. Place 0 is the
+// coordinator (hub); other places dial it.
+//
+// A built-in demo workload — Monte-Carlo estimation of π in flexible
+// batches — is dispatched by the coordinator across all places; each node
+// executes its batches on a local DistWS runtime and sends the results
+// back. Start a 3-place cluster:
+//
+//	distws-node -place 0 -places 3 -addr 127.0.0.1:4242 -batches 64 &
+//	distws-node -place 1 -addr 127.0.0.1:4242 &
+//	distws-node -place 2 -addr 127.0.0.1:4242 &
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distws/internal/comm"
+	"distws/internal/core"
+	"distws/internal/metrics"
+	"distws/internal/sched"
+	"distws/internal/task"
+	"distws/internal/topology"
+)
+
+// piArgs is the payload of one demo batch task.
+type piArgs struct {
+	Batch, BatchSize int
+	Seed             int64
+}
+
+// piResult is the payload of a completion message.
+type piResult struct {
+	Batch, Inside int
+}
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// piBatch counts quarter-circle hits for one deterministic batch.
+func piBatch(a piArgs) int {
+	inside := 0
+	base := uint64(a.Batch) * uint64(a.BatchSize)
+	for i := 0; i < a.BatchSize; i++ {
+		h := mix(uint64(a.Seed), base+uint64(i))
+		x := float64(h>>11) / float64(1<<53)
+		y := float64(mix(h, 77)>>11) / float64(1<<53)
+		if x*x+y*y <= 1 {
+			inside++
+		}
+	}
+	return inside
+}
+
+func init() {
+	// The remote-task registry: both roles register the same functions so
+	// envelopes resolve on arrival.
+	task.DefaultRegistry.Register("demo.pi", func(arg []byte) error {
+		// Decoded and executed by the node loop; registration here serves
+		// name resolution and validation.
+		var a piArgs
+		return gob.NewDecoder(bytes.NewReader(arg)).Decode(&a)
+	})
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distws-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		place   = flag.Int("place", 0, "this node's place id (0 = coordinator)")
+		places  = flag.Int("places", 3, "total places (coordinator only)")
+		addr    = flag.String("addr", "127.0.0.1:4242", "coordinator address")
+		batches = flag.Int("batches", 64, "π batches to dispatch (coordinator only)")
+		batchSz = flag.Int("batch-size", 200_000, "samples per batch")
+		seed    = flag.Int64("seed", 1, "sampling seed")
+		workers = flag.Int("workers", 2, "local workers per node")
+	)
+	flag.Parse()
+
+	if *place == 0 {
+		return coordinate(*addr, *places, *batches, *batchSz, *seed, *workers)
+	}
+	return serve(*addr, *place, *workers)
+}
+
+// coordinate runs place 0: accept spokes, dispatch batches, gather results.
+func coordinate(addr string, places, batches, batchSize int, seed int64, workers int) error {
+	var ctrs metrics.Counters
+	hub, err := comm.ListenHub(addr, places, &ctrs)
+	if err != nil {
+		return err
+	}
+	defer hub.Close()
+	fmt.Printf("coordinator: listening on %s, waiting for %d node(s)\n", hub.Addr(), places-1)
+	hub.Await()
+	fmt.Println("coordinator: cluster complete, dispatching")
+
+	start := time.Now()
+	// Dispatch batches round robin over places 1..P-1 and keep a share
+	// locally (the coordinator is a worker too).
+	local, err := newLocalRuntime(workers)
+	if err != nil {
+		return err
+	}
+	defer local.Shutdown()
+
+	inflight := 0
+	localInside := 0
+	for b := 0; b < batches; b++ {
+		dest := b % places
+		args := piArgs{Batch: b, BatchSize: batchSize, Seed: seed}
+		if dest == 0 {
+			n, err := runLocalBatch(local, args)
+			if err != nil {
+				return err
+			}
+			localInside += n
+			continue
+		}
+		env := &task.Envelope{Name: "demo.pi", Arg: encode(args), Home: dest, Origin: 0, Class: task.Flexible}
+		payload, err := env.Encode()
+		if err != nil {
+			return err
+		}
+		if err := hub.Send(comm.Message{Kind: comm.KindSpawn, To: dest, Seq: uint64(b), Payload: payload}); err != nil {
+			return err
+		}
+		inflight++
+	}
+
+	totalInside := localInside
+	samples := batches * batchSize
+	for inflight > 0 {
+		m, ok := <-hub.Inbox()
+		if !ok {
+			return fmt.Errorf("hub inbox closed with %d batches outstanding", inflight)
+		}
+		if m.Kind != comm.KindSpawnDone {
+			continue
+		}
+		var res piResult
+		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&res); err != nil {
+			return err
+		}
+		totalInside += res.Inside
+		inflight--
+	}
+	// Tell the nodes to exit.
+	for p := 1; p < places; p++ {
+		hub.Send(comm.Message{Kind: comm.KindShutdown, To: p})
+	}
+	pi := 4 * float64(totalInside) / float64(samples)
+	s := ctrs.Snapshot()
+	fmt.Printf("π ≈ %.6f from %d samples over %d places in %v (%d messages, %d bytes)\n",
+		pi, samples, places, time.Since(start).Round(time.Millisecond), s.Messages, s.BytesTransferred)
+	return nil
+}
+
+// serve runs a non-coordinator place: execute arriving spawns locally.
+func serve(addr string, place, workers int) error {
+	var ctrs metrics.Counters
+	spoke, err := comm.DialSpoke(addr, place, &ctrs)
+	if err != nil {
+		return err
+	}
+	defer spoke.Close()
+	fmt.Printf("node %d: joined %s\n", place, addr)
+
+	local, err := newLocalRuntime(workers)
+	if err != nil {
+		return err
+	}
+	defer local.Shutdown()
+
+	done := 0
+	for m := range spoke.Inbox() {
+		switch m.Kind {
+		case comm.KindShutdown:
+			fmt.Printf("node %d: done after %d batches\n", place, done)
+			return nil
+		case comm.KindSpawn:
+			env, err := task.DecodeEnvelope(m.Payload)
+			if err != nil {
+				return err
+			}
+			if _, ok := task.DefaultRegistry.Lookup(env.Name); !ok {
+				return fmt.Errorf("node %d: unknown remote task %q", place, env.Name)
+			}
+			var args piArgs
+			if err := gob.NewDecoder(bytes.NewReader(env.Arg)).Decode(&args); err != nil {
+				return err
+			}
+			inside, err := runLocalBatch(local, args)
+			if err != nil {
+				return err
+			}
+			reply := encode(piResult{Batch: args.Batch, Inside: inside})
+			if err := spoke.Send(comm.Message{Kind: comm.KindSpawnDone, To: env.Origin, Seq: m.Seq, Payload: reply}); err != nil {
+				return err
+			}
+			done++
+		}
+	}
+	return nil
+}
+
+// newLocalRuntime builds the single-place DistWS runtime a node executes
+// its share of work on.
+func newLocalRuntime(workers int) (*core.Runtime, error) {
+	return core.New(core.Config{
+		Cluster: topology.Cluster{Places: 1, WorkersPerPlace: workers},
+		Policy:  sched.DistWS,
+	})
+}
+
+// runLocalBatch splits one batch over the local workers via AsyncAny.
+func runLocalBatch(rt *core.Runtime, args piArgs) (int, error) {
+	parts := rt.WorkersPerPlace()
+	results := make([]int, parts)
+	err := rt.Run(func(ctx *core.Ctx) {
+		ctx.Finish(func(c *core.Ctx) {
+			per := args.BatchSize / parts
+			for i := 0; i < parts; i++ {
+				i := i
+				sub := piArgs{
+					Batch:     args.Batch*parts + i,
+					BatchSize: per,
+					Seed:      args.Seed ^ int64(args.Batch)<<20,
+				}
+				c.AsyncAny(0, func(*core.Ctx) { results[i] = piBatch(sub) })
+			}
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total, nil
+}
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(err) // static types; cannot fail
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,151 @@
+// Command distws-run executes one benchmark application under a chosen
+// scheduling policy, either on the real goroutine runtime (verifying the
+// result against the sequential reference) or on the virtual 128-worker
+// cluster simulator, and prints the run's scheduler metrics.
+//
+// Examples:
+//
+//	distws-run -app dmg -policy distws -mode sim -places 16 -workers 8
+//	distws-run -app quicksort -policy x10ws -mode runtime -places 4 -workers 2
+//	distws-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"distws/internal/apps"
+	"distws/internal/apps/suite"
+	"distws/internal/core"
+	"distws/internal/metrics"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distws-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName = flag.String("app", "dmg", "application (quicksort, turingring, kmeans, agglom, dmg, dmr, nbody, uts, or a micro app)")
+		policy  = flag.String("policy", "distws", "scheduler: x10ws, distws, distws-ns, random, lifeline")
+		mode    = flag.String("mode", "sim", "sim (virtual cluster) or runtime (real goroutine runtime)")
+		places  = flag.Int("places", 16, "number of places (nodes)")
+		workers = flag.Int("workers", 8, "workers per place")
+		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
+		scale   = flag.Int("scale", 1, "workload scale multiplier")
+		list    = flag.Bool("list", false, "list available applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper suite:", suite.Names())
+		fmt.Println("micro suite: mergesort skyline montecarlo-pi matchain randomaccess")
+		fmt.Println("uts")
+		return nil
+	}
+
+	k, err := sched.Parse(*policy)
+	if err != nil {
+		return err
+	}
+	app, err := suite.ByName(*appName, suite.Scale(*scale), *seed)
+	if err != nil {
+		return err
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = *places, *workers
+	if err := cl.Validate(); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "sim":
+		return runSim(app, cl, k, *seed)
+	case "runtime":
+		return runRuntime(app, cl, k, *seed)
+	default:
+		return fmt.Errorf("unknown mode %q (want sim or runtime)", *mode)
+	}
+}
+
+func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64) error {
+	start := time.Now()
+	g, err := app.Trace(cl.Places)
+	if err != nil {
+		return err
+	}
+	genTime := time.Since(start)
+	start = time.Now()
+	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	simTime := time.Since(start)
+
+	fmt.Printf("%s under %s on %s (simulated)\n\n", app.Name(), k, cl)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "tasks\t%d (%.0f%% locality-flexible)\n", g.NumTasks(), 100*g.FlexibleFraction())
+	fmt.Fprintf(w, "mean flexible granularity\t%.3f ms\n", float64(apps.MeanFlexibleCostNS(g))/1e6)
+	fmt.Fprintf(w, "sequential (virtual)\t%.2f ms\n", float64(res.SequentialNS)/1e6)
+	fmt.Fprintf(w, "makespan (virtual)\t%.2f ms\n", float64(res.MakespanNS)/1e6)
+	fmt.Fprintf(w, "speedup\t%.2f on %d workers\n", res.Speedup(), cl.Workers())
+	printCounters(w, res.Counters)
+	fmt.Fprintf(w, "utilization\t%s\n", metrics.FormatSeries(res.Utilization))
+	sp := metrics.Summarize(res.Utilization)
+	fmt.Fprintf(w, "utilization spread\tmin %.1f%% max %.1f%% disparity %.1f%%\n", sp.Min, sp.Max, sp.Disparity)
+	fmt.Fprintf(w, "host time\ttrace %v, sim %v\n", genTime.Round(time.Millisecond), simTime.Round(time.Millisecond))
+	return w.Flush()
+}
+
+func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64) error {
+	fmt.Printf("%s under %s on %s (real runtime; place count bounded by this host)\n\n", app.Name(), k, cl)
+	want := app.Sequential()
+	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer rt.Shutdown()
+	start := time.Now()
+	got, err := app.Parallel(rt)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	status := "OK (matches sequential reference)"
+	if got != want {
+		status = fmt.Sprintf("MISMATCH: parallel %x vs sequential %x", got, want)
+	}
+	fmt.Fprintf(w, "result checksum\t%x\t%s\n", got, status)
+	fmt.Fprintf(w, "wall time\t%v\n", elapsed.Round(time.Millisecond))
+	printCounters(w, rt.Metrics())
+	fmt.Fprintf(w, "utilization\t%s\n", metrics.FormatSeries(rt.Utilization()))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("checksum mismatch")
+	}
+	return nil
+}
+
+func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
+	fmt.Fprintf(w, "tasks executed\t%d\n", s.TasksExecuted)
+	fmt.Fprintf(w, "steals\tlocal %d, remote %d, failed sweeps %d\n",
+		s.LocalSteals, s.RemoteSteals, s.FailedSteals)
+	fmt.Fprintf(w, "steals-to-task ratio\t%.2e\n", s.StealsToTaskRatio())
+	fmt.Fprintf(w, "messages\t%d (%d bytes)\n", s.Messages, s.BytesTransferred)
+	fmt.Fprintf(w, "migrated tasks\t%d (remote refs %d)\n", s.TasksMigrated, s.RemoteDataAccess)
+	if s.CacheRefs > 0 {
+		fmt.Fprintf(w, "modelled L1d miss rate\t%.1f%%\n", s.CacheMissRate())
+	}
+}

@@ -1,0 +1,106 @@
+// Package distws is a Go implementation of selective locality-aware
+// distributed work-stealing, reproducing the runtime described in
+//
+//	Paudel, Tardieu, Amaral. "On the Merits of Distributed Work-stealing
+//	on Selective Locality-aware Tasks". ICPP 2013.
+//
+// The library provides an X10-style APGAS programming model — places,
+// async, finish, at — on top of goroutines. Tasks are classified as
+// locality-sensitive (pinned to their home place; the default Async) or
+// locality-flexible (AsyncAny, the paper's @AnyPlaceTask annotation).
+// Under the DistWS policy, flexible tasks on saturated places are
+// published in a per-place shared deque from which idle remote places
+// steal chunks of two, while sensitive tasks stay in per-worker private
+// deques and never migrate.
+//
+// # Quickstart
+//
+//	rt, err := distws.New(distws.Config{
+//		Cluster: distws.Cluster{Places: 4, WorkersPerPlace: 2},
+//		Policy:  distws.DistWS,
+//	})
+//	if err != nil { ... }
+//	defer rt.Shutdown()
+//
+//	err = rt.Run(func(ctx *distws.Ctx) {
+//		ctx.Finish(func(c *distws.Ctx) {
+//			for p := 0; p < c.Places(); p++ {
+//				c.AsyncAny(p, func(c *distws.Ctx) {
+//					// coarse, self-contained work: stealable anywhere
+//				})
+//			}
+//		})
+//	})
+//
+// Four baseline policies ship alongside DistWS for comparison: X10WS
+// (intra-place stealing only), DistWSNS (non-selective distributed
+// stealing), RandomWS and LifelineWS (the UTS baselines from the paper's
+// related-work study).
+package distws
+
+import (
+	"distws/internal/core"
+	"distws/internal/metrics"
+	"distws/internal/sched"
+	"distws/internal/task"
+	"distws/internal/topology"
+)
+
+// Core runtime types. See the internal/core package for details.
+type (
+	// Runtime is a running APGAS instance hosting places and workers.
+	Runtime = core.Runtime
+	// Config parameterizes New.
+	Config = core.Config
+	// Ctx is the execution context every activity receives.
+	Ctx = core.Ctx
+	// Cluster describes places, workers per place, and the cost model.
+	Cluster = topology.Cluster
+	// Policy selects a scheduling algorithm.
+	Policy = sched.Kind
+	// Locality carries a task's full locality attributes for AsyncLoc.
+	Locality = task.Locality
+	// Class is the locality classification of a task.
+	Class = task.Class
+	// Metrics is a point-in-time snapshot of runtime counters.
+	Metrics = metrics.Snapshot
+)
+
+// Scheduling policies.
+const (
+	// X10WS is the stock X10 scheduler: help-first work stealing within a
+	// place, no distributed steals.
+	X10WS = sched.X10WS
+	// DistWS is the paper's contribution: distributed stealing restricted
+	// to locality-flexible tasks.
+	DistWS = sched.DistWS
+	// DistWSNS is the non-selective ablation: any task may be stolen.
+	DistWSNS = sched.DistWSNS
+	// RandomWS is classic randomized distributed work stealing.
+	RandomWS = sched.RandomWS
+	// LifelineWS is lifeline-graph based global load balancing.
+	LifelineWS = sched.LifelineWS
+)
+
+// Task classifications.
+const (
+	// Sensitive tasks never leave their home place.
+	Sensitive = task.Sensitive
+	// Flexible tasks may be stolen by any place (@AnyPlaceTask).
+	Flexible = task.Flexible
+)
+
+// New starts a runtime; pair with Runtime.Shutdown.
+func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// ParsePolicy resolves a case-insensitive policy name such as "distws",
+// "x10ws", "distws-ns", "random", or "lifeline".
+func ParsePolicy(s string) (Policy, error) { return sched.Parse(s) }
+
+// PaperCluster returns the evaluation platform of the paper (§VII):
+// 16 places × 8 workers = 128 workers.
+func PaperCluster() Cluster { return topology.Paper() }
+
+// LaptopCluster returns a small host-friendly cluster (4 places × 2
+// workers) for examples and tests.
+func LaptopCluster() Cluster { return topology.Laptop() }

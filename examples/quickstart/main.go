@@ -1,0 +1,84 @@
+// Quickstart: the DistWS programming model in one file.
+//
+// A Runtime hosts places (simulated cluster nodes), each with worker
+// goroutines. Async pins a task to its place (locality-sensitive);
+// AsyncAny marks it stealable by any place (locality-flexible, the
+// paper's @AnyPlaceTask); Finish waits for everything spawned inside it;
+// At runs a block at another place, accounting the communication.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"distws"
+)
+
+func main() {
+	rt, err := distws.New(distws.Config{
+		Cluster: distws.Cluster{Places: 4, WorkersPerPlace: 2},
+		Policy:  distws.DistWS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	var pinned, anywhere atomic.Int64
+	err = rt.Run(func(ctx *distws.Ctx) {
+		fmt.Printf("root activity at place %d of %d\n", ctx.Place(), ctx.Places())
+
+		ctx.Finish(func(c *distws.Ctx) {
+			// Locality-sensitive work: one task per place, each pinned to
+			// its data's home. These never migrate.
+			for p := 0; p < c.Places(); p++ {
+				home := p
+				c.Async(home, func(cc *distws.Ctx) {
+					if cc.Place() != home {
+						log.Fatalf("sensitive task migrated to place %d", cc.Place())
+					}
+					pinned.Add(1)
+				})
+			}
+
+			// Locality-flexible work: spawned all at place 0, but any idle
+			// place may steal it from place 0's shared deque.
+			for i := 0; i < 64; i++ {
+				c.AsyncAny(0, func(cc *distws.Ctx) {
+					anywhere.Add(1)
+					burn(20_000)
+				})
+			}
+		})
+
+		// Place-shift: run a block at place 3, paying two messages for the
+		// round trip (the 128 is the payload size for accounting).
+		ctx.At(3, 128, func(cc *distws.Ctx) {
+			fmt.Printf("at() block executing at place %d\n", cc.Place())
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := rt.Metrics()
+	fmt.Printf("pinned tasks: %d, flexible tasks: %d\n", pinned.Load(), anywhere.Load())
+	fmt.Printf("scheduler: %d local steals, %d remote steals, %d tasks migrated\n",
+		m.LocalSteals, m.RemoteSteals, m.TasksMigrated)
+	fmt.Printf("communication: %d messages, %d bytes\n", m.Messages, m.BytesTransferred)
+}
+
+// burn spins for roughly n iterations of floating point work so the
+// flexible tasks are worth stealing.
+func burn(n int) {
+	acc := 1.0
+	for i := 0; i < n; i++ {
+		acc += acc * 1e-9
+	}
+	if acc < 0 {
+		panic("unreachable")
+	}
+}

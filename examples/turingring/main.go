@@ -1,0 +1,144 @@
+// Turing Ring (paper §IV-B): the example the paper uses to explain task
+// classification. A ring of cells holds predator and prey populations;
+// every iteration updates each cell and migrates bodies between
+// neighbours, shifting the load by orders of magnitude.
+//
+// The *outer* per-cell task is locality-flexible: once a thief copies the
+// cell, every remaining operation is local and nothing is copied back, so
+// it is annotated AsyncAny exactly like the paper's @AnyPlaceTask. The
+// *inner* prey update stays locality-sensitive (Async at the executing
+// place): stealing it alone would copy populations both ways.
+//
+//	go run ./examples/turingring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distws"
+)
+
+// cell holds the two populations.
+type cell struct{ prey, pred float64 }
+
+const (
+	cells = 128
+	iters = 8
+)
+
+func main() {
+	rt, err := distws.New(distws.Config{
+		Cluster: distws.Cluster{Places: 4, WorkersPerPlace: 2},
+		Policy:  distws.DistWS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	cur := make([]cell, cells)
+	next := make([]cell, cells)
+	for i := range cur {
+		cur[i] = cell{prey: 30 + float64(i%7)*10, pred: 6}
+		if i%32 == 0 {
+			cur[i].prey += 2000 // dense blooms travel around the ring
+		}
+	}
+
+	// wl is the distributed ring of cells: place p owns a contiguous arc.
+	placeOf := func(i int) int { return i * rt.Places() / cells }
+
+	err = rt.Run(func(ctx *distws.Ctx) {
+		for iter := 0; iter < iters; iter++ {
+			it := iter
+			ctx.Finish(func(c *distws.Ctx) {
+				for i := range cur {
+					i := i
+					loc := distws.Locality{
+						Class:          distws.Flexible,
+						MigrationBytes: 16 * int(cur[i].prey+cur[i].pred+1),
+					}
+					// Outer task: the whole cell update. Flexible.
+					c.AsyncLoc(placeOf(i), loc, func(cc *distws.Ctx) {
+						res := step(cur, i, it)
+						// Inner prey update: sensitive at the executing
+						// place, as in the paper's Fig. 1 line 6.
+						cc.Finish(func(c3 *distws.Ctx) {
+							c3.Async(c3.Place(), func(*distws.Ctx) {
+								next[i] = res
+							})
+						})
+					})
+				}
+			})
+			cur, next = next, cur
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var prey, pred float64
+	minB, maxB := 1e18, 0.0
+	for _, c := range cur {
+		prey += c.prey
+		pred += c.pred
+		b := c.prey + c.pred
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	m := rt.Metrics()
+	fmt.Printf("after %d iterations over %d cells: prey %.0f, predators %.0f\n", iters, cells, prey, pred)
+	fmt.Printf("cell load ranges from %.0f to %.0f bodies (the imbalance DistWS absorbs)\n", minB, maxB)
+	fmt.Printf("scheduler moved %d tasks across places (%d remote steals)\n", m.TasksMigrated, m.RemoteSteals)
+}
+
+// step computes cell i's next state from the current ring (pure function
+// of cur, so per-cell tasks are race-free).
+func step(cur []cell, i, iter int) cell {
+	n := len(cur)
+	g := grow(cur[i])
+	pOut, dOut, _ := outflow(g, i, iter)
+	nx := cell{prey: g.prey - pOut, pred: g.pred - dOut}
+	for _, d := range []int{-1, 1} {
+		j := (i + d + n) % n
+		gj := grow(cur[j])
+		pj, dj, dirj := outflow(gj, j, iter)
+		if (j+dirj+n)%n == i {
+			nx.prey += pj
+			nx.pred += dj
+		}
+	}
+	return nx
+}
+
+func grow(c cell) cell {
+	prey := c.prey + 0.2*c.prey*(1-c.prey/4000) - 0.0004*c.pred*c.prey
+	pred := c.pred + 0.0001*c.pred*c.prey - 0.05*c.pred
+	if prey < 0 {
+		prey = 0
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	return cell{prey, pred}
+}
+
+func outflow(c cell, i, iter int) (preyOut, predOut float64, dir int) {
+	h := uint64(i)*0x9e3779b97f4a7c15 + uint64(iter)
+	h ^= h >> 29
+	dir = 1
+	if h&1 == 0 {
+		dir = -1
+	}
+	preyFrac := 0.05
+	if c.prey > 800 && h%4 == 0 {
+		preyFrac = 0.9 // bloom collapse: the load spike migrates
+	}
+	return preyFrac * c.prey, 0.05 * c.pred, dir
+}

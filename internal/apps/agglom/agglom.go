@@ -1,0 +1,317 @@
+// Package agglom implements the Lonestar Agglomerative Clustering
+// benchmark (paper §VII: 2M points clustered by building a hierarchical
+// tree bottom-up). The algorithm is round-based mutual-nearest-neighbour
+// merging: every round each active cluster finds its nearest neighbour
+// (parallel, chunked) and mutual pairs merge (sequential, deterministic).
+// Rounds shrink geometrically, so chunk counts and costs vary across the
+// run, and clustered inputs give places skewed chunk loads.
+package agglom
+
+import (
+	"fmt"
+	"math"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/task"
+	"distws/internal/trace"
+)
+
+// Cluster is an active cluster: centroid and size.
+type Cluster struct {
+	X, Y float64
+	Size int
+}
+
+// App configures one clustering instance.
+type App struct {
+	// N is the number of input points (paper scale: 2_000_000).
+	N int
+	// Seed drives the input distribution.
+	Seed int64
+	// ChunkSize is the number of clusters per nearest-neighbour task.
+	ChunkSize int
+	// GranularityNS is the Table I calibration target (529 ms).
+	GranularityNS int64
+	// MaxRounds bounds the merge rounds (safety; log2(N) suffices).
+	MaxRounds int
+}
+
+// New returns an agglomerative clustering app over n points.
+func New(n int, seed int64) *App {
+	chunk := n / 128
+	if chunk < 16 {
+		chunk = 16
+	}
+	return &App{
+		N:             n,
+		Seed:          seed,
+		ChunkSize:     chunk,
+		GranularityNS: 529_000_000, // Table I: 529 ms
+		MaxRounds:     64,
+	}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "agglom" }
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gen produces clustered points (dense and sparse blobs).
+func (a *App) gen() []Cluster {
+	out := make([]Cluster, a.N)
+	for i := range out {
+		h := mix(uint64(a.Seed), uint64(i))
+		var x, y float64
+		switch h % 8 {
+		case 0, 1, 2, 3: // heavy blob left
+			x, y = 0.2+0.1*unit(mix(h, 1)), 0.3+0.1*unit(mix(h, 2))
+		case 4, 5: // medium blob right
+			x, y = 0.75+0.08*unit(mix(h, 3)), 0.6+0.08*unit(mix(h, 4))
+		default: // scattered
+			x, y = unit(mix(h, 5)), unit(mix(h, 6))
+		}
+		out[i] = Cluster{X: x, Y: y, Size: 1}
+	}
+	return out
+}
+
+// nnChunk finds, for each cluster in [lo,hi), the nearest other active
+// cluster (ties broken by lower index), writing into nn. It returns the
+// number of distance evaluations (the chunk's work units).
+func nnChunk(act []Cluster, nn []int, lo, hi int) int {
+	work := 0
+	for i := lo; i < hi; i++ {
+		best, bestD := -1, math.MaxFloat64
+		for j := range act {
+			if j == i {
+				continue
+			}
+			dx, dy := act[i].X-act[j].X, act[i].Y-act[j].Y
+			d := dx*dx + dy*dy
+			work++
+			if d < bestD || (d == bestD && j < best) {
+				best, bestD = j, d
+			}
+		}
+		nn[i] = best
+	}
+	return work
+}
+
+// mergeMutual merges mutual nearest-neighbour pairs (i<j, nn[i]=j,
+// nn[j]=i) and returns the next round's clusters plus the merge count.
+// Clusters not in a mutual pair survive unchanged. Deterministic.
+func mergeMutual(act []Cluster, nn []int, h *apps.Fnv1a) ([]Cluster, int) {
+	merged := make([]bool, len(act))
+	var next []Cluster
+	merges := 0
+	for i := range act {
+		if merged[i] {
+			continue
+		}
+		j := nn[i]
+		if j > i && !merged[j] && nn[j] == i {
+			si, sj := float64(act[i].Size), float64(act[j].Size)
+			tot := si + sj
+			nc := Cluster{
+				X:    (act[i].X*si + act[j].X*sj) / tot,
+				Y:    (act[i].Y*si + act[j].Y*sj) / tot,
+				Size: act[i].Size + act[j].Size,
+			}
+			merged[i], merged[j] = true, true
+			next = append(next, nc)
+			merges++
+			if h != nil {
+				h.Add(uint64(nc.Size))
+				h.AddFloat(nc.X)
+				h.AddFloat(nc.Y)
+			}
+			continue
+		}
+	}
+	for i := range act {
+		if !merged[i] {
+			next = append(next, act[i])
+		}
+	}
+	return next, merges
+}
+
+// chunksOf returns chunk boundaries over m clusters.
+func (a *App) chunksOf(m int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < m; lo += a.ChunkSize {
+		hi := lo + a.ChunkSize
+		if hi > m {
+			hi = m
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// run executes the clustering with a pluggable per-round chunk executor.
+func (a *App) run(eachRound func(act []Cluster, nn []int, chunks [][2]int)) uint64 {
+	act := a.gen()
+	h := apps.NewFnv()
+	for round := 0; len(act) > 1 && round < a.MaxRounds; round++ {
+		nn := make([]int, len(act))
+		eachRound(act, nn, a.chunksOf(len(act)))
+		var merges int
+		act, merges = mergeMutual(act, nn, &h)
+		if merges == 0 {
+			break // numerically stuck (coincident centroids); terminate
+		}
+	}
+	h.Add(uint64(len(act)))
+	return h.Sum()
+}
+
+// Sequential implements apps.App.
+func (a *App) Sequential() uint64 {
+	return a.run(func(act []Cluster, nn []int, chunks [][2]int) {
+		for _, ch := range chunks {
+			nnChunk(act, nn, ch[0], ch[1])
+		}
+	})
+}
+
+// clusterPlace maps a chunk to a place by its first centroid's x-stripe.
+func clusterPlace(act []Cluster, lo, places int) int {
+	p := int(act[lo].X * float64(places))
+	if p < 0 {
+		p = 0
+	}
+	if p >= places {
+		p = places - 1
+	}
+	return p
+}
+
+// Parallel implements apps.App.
+func (a *App) Parallel(rt *core.Runtime) (uint64, error) {
+	places := rt.Places()
+	var sum uint64
+	err := rt.Run(func(ctx *core.Ctx) {
+		sum = a.run(func(act []Cluster, nn []int, chunks [][2]int) {
+			ctx.Finish(func(c *core.Ctx) {
+				for _, ch := range chunks {
+					ch := ch
+					loc := task.Locality{
+						Class:          task.Flexible,
+						MigrationBytes: 24 * (ch[1] - ch[0]),
+						Blocks:         []uint64{uint64(ch[0])},
+					}
+					c.AsyncLoc(clusterPlace(act, ch[0], places), loc, func(*core.Ctx) {
+						nnChunk(act, nn, ch[0], ch[1])
+					})
+				}
+			})
+		})
+	})
+	if err != nil {
+		return 0, fmt.Errorf("agglom: %w", err)
+	}
+	return sum, nil
+}
+
+// Trace implements apps.App: the real rounds are replayed; each chunk's
+// nearest-neighbour scan is a flexible task whose cost is its measured
+// distance evaluations. A sequential merge task per round (sensitive,
+// place 0) parents the next round's chunks.
+func (a *App) Trace(places int) (*trace.Graph, error) {
+	b := trace.NewBuilder(a.Name())
+	act := a.gen()
+	prevMerge := -1
+	for round := 0; len(act) > 1 && round < a.MaxRounds; round++ {
+		nn := make([]int, len(act))
+		chunks := a.chunksOf(len(act))
+		// The merge/coordination task for this round.
+		mt := trace.Task{
+			HomeMode:  trace.HomeFixed,
+			Home:      0,
+			CostNS:    int64(len(act)),
+			Flexible:  false,
+			BaseMsgs:  2 * (places - 1), // gather nn[], broadcast survivors
+			BaseBytes: 8 * len(act),
+		}
+		var mid int
+		if prevMerge < 0 {
+			mid = b.Root(mt)
+		} else {
+			mid = b.Child(prevMerge, mt)
+		}
+		prevMerge = mid
+		for _, ch := range chunks {
+			work := nnChunk(act, nn, ch[0], ch[1])
+			sz := ch[1] - ch[0]
+			b.Child(mid, trace.Task{
+				HomeMode:  trace.HomeFixed,
+				Home:      clusterPlace(act, ch[0], places),
+				CostNS:    int64(work + sz),
+				Flexible:  true,
+				MigBytes:  24 * sz,
+				MigMsgs:   sz / 64, // remote reads of off-place centroids
+				BaseMsgs:  1,
+				BaseBytes: 8 * sz,
+				Blocks:    spatialBlocks(act, ch[0], ch[1]),
+				BlockReps: 4,
+			})
+		}
+		var merges int
+		act, merges = mergeMutual(act, nn, nil)
+		if merges == 0 {
+			break
+		}
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("agglom: %w", err)
+	}
+	for i := range g.Tasks {
+		if n := len(g.Tasks[i].Children); n > 0 {
+			fr := make([]float64, n)
+			for j := range fr {
+				fr[j] = 1
+			}
+			g.Tasks[i].SpawnFrac = fr
+		}
+	}
+	if _, err := apps.CalibrateFlexibleGranularity(g, a.GranularityNS); err != nil {
+		return nil, fmt.Errorf("agglom: %w", err)
+	}
+	return g, nil
+}
+
+// spatialBlocks maps a chunk's clusters to blocks by their position in a
+// 64×64 grid: chunks over the same area share blocks across rounds, so a
+// place that keeps processing its own region stays warm.
+func spatialBlocks(act []Cluster, lo, hi int) []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for i := lo; i < hi && len(out) < 32; i++ {
+		bx := uint64(act[i].X * 64)
+		by := uint64(act[i].Y * 64)
+		blk := bx<<8 | by
+		if !seen[blk] {
+			seen[blk] = true
+			out = append(out, blk)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+var _ apps.App = (*App)(nil)

@@ -1,0 +1,371 @@
+// Package dmg implements the Lonestar Delaunay Mesh Generation benchmark
+// (paper §IV-A, §VII: 2-D triangular mesh over 80,000 points). The
+// decomposition follows the paper's description: the domain is split into
+// regions (triangles in the paper, quadrants here) that encapsulate their
+// points; a region task either splits into four child tasks or
+// triangulates its points with the Bowyer–Watson kernel (internal/geom).
+// Region tasks are locality-flexible — they carry all the data they need,
+// are coarse, and spawn work for the thief's co-located workers — the
+// paper's archetype of a profitably stealable task (31% gain at 64
+// workers).
+//
+// Regions are triangulated independently (no cross-region stitching);
+// both the reference sequential implementation and the parallel one use
+// the same decomposition, so checksums are directly comparable.
+package dmg
+
+import (
+	"fmt"
+	"sync"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/geom"
+	"distws/internal/task"
+	"distws/internal/trace"
+)
+
+// region is an axis-aligned box with its points.
+type region struct {
+	minX, minY, maxX, maxY float64
+	pts                    []geom.Point
+}
+
+// App configures one DMG instance.
+type App struct {
+	// N is the number of points (paper scale: 80_000).
+	N int
+	// Seed drives the input distribution.
+	Seed int64
+	// Cutoff is the region size below which points are triangulated
+	// rather than split further.
+	Cutoff int
+	// RootGrid is the number of top-level column stripes (one root region
+	// per stripe), distributed over the places.
+	RootGrid int
+	// GranularityNS is the Table I calibration target (732 ms).
+	GranularityNS int64
+}
+
+// New returns a DMG app over n points.
+func New(n int, seed int64) *App {
+	cutoff := n / 96
+	if cutoff < 64 {
+		cutoff = 64
+	}
+	return &App{
+		N:             n,
+		Seed:          seed,
+		Cutoff:        cutoff,
+		RootGrid:      16,
+		GranularityNS: 732_000_000, // Table I: 732 ms
+	}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "dmg" }
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gen produces clustered points in the unit square.
+func (a *App) gen() []geom.Point {
+	pts := make([]geom.Point, a.N)
+	for i := range pts {
+		h := mix(uint64(a.Seed), uint64(i))
+		var x, y float64
+		switch h % 8 {
+		case 0, 1, 2, 3: // dense cluster
+			x = 0.1 + 0.25*unit(mix(h, 1))
+			y = 0.55 + 0.3*unit(mix(h, 2))
+		case 4, 5: // medium band
+			x = 0.5 + 0.45*unit(mix(h, 3))
+			y = 0.05 + 0.35*unit(mix(h, 4))
+		default: // background
+			x, y = unit(mix(h, 5)), unit(mix(h, 6))
+		}
+		pts[i] = geom.Point{X: x, Y: y}
+	}
+	return pts
+}
+
+// rootRegions splits the domain into RootGrid column stripes.
+func (a *App) rootRegions(pts []geom.Point) []region {
+	regs := make([]region, a.RootGrid)
+	for i := range regs {
+		regs[i] = region{
+			minX: float64(i) / float64(a.RootGrid),
+			maxX: float64(i+1) / float64(a.RootGrid),
+			minY: 0, maxY: 1,
+		}
+	}
+	for _, p := range pts {
+		i := int(p.X * float64(a.RootGrid))
+		if i < 0 {
+			i = 0
+		}
+		if i >= a.RootGrid {
+			i = a.RootGrid - 1
+		}
+		regs[i].pts = append(regs[i].pts, p)
+	}
+	return regs
+}
+
+// split quarters a region by its midlines.
+func split(r region) [4]region {
+	mx, my := (r.minX+r.maxX)/2, (r.minY+r.maxY)/2
+	quads := [4]region{
+		{r.minX, r.minY, mx, my, nil},
+		{mx, r.minY, r.maxX, my, nil},
+		{r.minX, my, mx, r.maxY, nil},
+		{mx, my, r.maxX, r.maxY, nil},
+	}
+	for _, p := range r.pts {
+		q := 0
+		if p.X >= mx {
+			q |= 1
+		}
+		if p.Y >= my {
+			q |= 2
+		}
+		quads[q].pts = append(quads[q].pts, p)
+	}
+	return quads
+}
+
+// triangulate builds the region's local mesh and returns (live triangles,
+// cavity work units).
+func triangulate(r region) (alive, steps int) {
+	if len(r.pts) == 0 {
+		return 0, 0
+	}
+	m := geom.NewMesh(r.minX, r.minY, r.maxX, r.maxY)
+	for _, p := range r.pts {
+		m.Insert(p) // duplicates are skipped with an error; that's fine
+	}
+	return m.NumAlive(), m.InsertSteps
+}
+
+// leafStat is the checksummable output of one leaf region.
+type leafStat struct {
+	npts, alive int
+}
+
+// checksum folds leaf statistics in deterministic (leaf-id) order.
+func checksum(stats map[string]leafStat, keys []string) uint64 {
+	h := apps.NewFnv()
+	for _, k := range keys {
+		s := stats[k]
+		h.Add(uint64(len(k)))
+		h.Add(uint64(s.npts))
+		h.Add(uint64(s.alive))
+	}
+	return h.Sum()
+}
+
+// leafKey identifies a leaf region stably.
+func leafKey(r region) string {
+	return fmt.Sprintf("%.6f:%.6f:%.6f:%.6f", r.minX, r.minY, r.maxX, r.maxY)
+}
+
+// seqRec triangulates r, splitting recursively, accumulating leaf stats.
+func (a *App) seqRec(r region, stats map[string]leafStat, keys *[]string) {
+	if len(r.pts) > a.Cutoff {
+		for _, q := range split(r) {
+			a.seqRec(q, stats, keys)
+		}
+		return
+	}
+	alive, _ := triangulate(r)
+	k := leafKey(r)
+	stats[k] = leafStat{npts: len(r.pts), alive: alive}
+	*keys = append(*keys, k)
+}
+
+// Sequential implements apps.App.
+func (a *App) Sequential() uint64 {
+	stats := make(map[string]leafStat)
+	var keys []string
+	for _, r := range a.rootRegions(a.gen()) {
+		a.seqRec(r, stats, &keys)
+	}
+	return checksum(stats, keys)
+}
+
+// regionPlace maps a root stripe to a place.
+func (a *App) regionPlace(i, places int) int {
+	return i * places / a.RootGrid
+}
+
+// Parallel implements apps.App.
+func (a *App) Parallel(rt *core.Runtime) (uint64, error) {
+	places := rt.Places()
+	var mu sync.Mutex
+	stats := make(map[string]leafStat)
+	var parRec func(c *core.Ctx, r region)
+	parRec = func(c *core.Ctx, r region) {
+		if len(r.pts) > a.Cutoff {
+			c.Finish(func(cc *core.Ctx) {
+				for _, q := range split(r) {
+					q := q
+					cc.AsyncLoc(cc.Place(), a.locality(len(q.pts)), func(c3 *core.Ctx) {
+						parRec(c3, q)
+					})
+				}
+			})
+			return
+		}
+		alive, _ := triangulate(r)
+		mu.Lock()
+		stats[leafKey(r)] = leafStat{npts: len(r.pts), alive: alive}
+		mu.Unlock()
+	}
+	roots := a.rootRegions(a.gen())
+	err := rt.Run(func(ctx *core.Ctx) {
+		ctx.Finish(func(c *core.Ctx) {
+			for i, r := range roots {
+				i, r := i, r
+				c.AsyncLoc(a.regionPlace(i, places), a.locality(len(r.pts)), func(cc *core.Ctx) {
+					parRec(cc, r)
+				})
+			}
+		})
+	})
+	if err != nil {
+		return 0, fmt.Errorf("dmg: %w", err)
+	}
+	// Reconstruct the deterministic key order from a sequential walk of
+	// the same decomposition; the parallel run filled stats for exactly
+	// these leaves.
+	var keys []string
+	for _, r := range a.rootRegions(a.gen()) {
+		a.seqKeys(r, &keys)
+	}
+	return checksum(stats, keys), nil
+}
+
+// seqKeys walks the decomposition recording leaf keys only.
+func (a *App) seqKeys(r region, keys *[]string) {
+	if len(r.pts) > a.Cutoff {
+		for _, q := range split(r) {
+			a.seqKeys(q, keys)
+		}
+		return
+	}
+	*keys = append(*keys, leafKey(r))
+}
+
+func (a *App) locality(npts int) task.Locality {
+	return task.Locality{
+		Class:          task.Flexible,
+		MigrationBytes: 16*npts + 64,
+	}
+}
+
+// Trace implements apps.App: the decomposition is replayed; split tasks
+// cost ∝ their point count, leaf tasks cost their measured cavity work.
+// All region tasks are flexible; children inherit the executing place
+// (paper §II condition b).
+func (a *App) Trace(places int) (*trace.Graph, error) {
+	b := trace.NewBuilder(a.Name())
+	roots := a.rootRegions(a.gen())
+	var rec func(parent int, r region)
+	rec = func(parent int, r region) {
+		if len(r.pts) > a.Cutoff {
+			for _, q := range split(r) {
+				child := b.Child(parent, trace.Task{
+					HomeMode:  trace.HomeInherit,
+					CostNS:    int64(len(q.pts) + 1),
+					Flexible:  true,
+					MigBytes:  16*len(q.pts) + 64,
+					BaseMsgs:  1,
+					BaseBytes: 64,
+					Blocks:    regionBlocks(q),
+					BlockReps: 6,
+				})
+				rec(child, q)
+			}
+			return
+		}
+		_, steps := triangulate(r)
+		// The leaf's triangulation work happens in the region task itself;
+		// fold it in as a child so the cavity work is a distinct cost unit.
+		leaf := b.Child(parent, trace.Task{
+			HomeMode: trace.HomeInherit,
+			CostNS:   int64(steps*8 + len(r.pts)),
+			Flexible: true,
+			MigBytes: 16*len(r.pts) + 64,
+			// Once copied, everything is local (paper §IV-A): no MigMsgs.
+			BaseMsgs:  1,
+			BaseBytes: 32,
+			Blocks:    regionBlocks(r),
+			BlockReps: 6,
+		})
+		// Folding the leaf's triangles into the region's mesh fragment is
+		// locality-sensitive: it mutates the region data in place, so a
+		// non-selective steal of this task pays a remote reference per
+		// few triangles.
+		b.Child(leaf, trace.Task{
+			HomeMode:  trace.HomeInherit,
+			CostNS:    int64(len(r.pts)/2 + 1),
+			Flexible:  false,
+			MigBytes:  8*len(r.pts) + 32,
+			MigMsgs:   len(r.pts)/8 + 2,
+			Blocks:    regionBlocks(r),
+			BlockReps: 3,
+		})
+	}
+	for i, r := range roots {
+		root := b.Root(trace.Task{
+			HomeMode:  trace.HomeFixed,
+			Home:      a.regionPlace(i, places),
+			CostNS:    int64(len(r.pts) + 1),
+			Flexible:  true,
+			MigBytes:  16*len(r.pts) + 64,
+			BaseMsgs:  1,
+			BaseBytes: 64,
+			Blocks:    regionBlocks(r),
+			BlockReps: 6,
+		})
+		rec(root, r)
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("dmg: %w", err)
+	}
+	if _, err := apps.CalibrateFlexibleGranularity(g, a.GranularityNS); err != nil {
+		return nil, fmt.Errorf("dmg: %w", err)
+	}
+	return g, nil
+}
+
+// regionBlocks derives a footprint shared across a root stripe: every
+// region nested in the same column stripe draws from the stripe's block
+// namespace, so a subtree processed at its home place stays warm while a
+// stolen subtree starts cold at the thief.
+func regionBlocks(r region) []uint64 {
+	stripe := uint64(int64(r.minX * 1024)) // stable per column stripe
+	n := len(r.pts)/64 + 1
+	if n > 48 {
+		n = 48
+	}
+	// Offset sub-blocks by the region's y position so sibling quadrants
+	// overlap partially, not fully.
+	off := uint64(int64(r.minY*64)) % 16
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = stripe<<32 | (off + uint64(i))
+	}
+	return out
+}
+
+var _ apps.App = (*App)(nil)

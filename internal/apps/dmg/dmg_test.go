@@ -1,0 +1,156 @@
+package dmg
+
+import (
+	"testing"
+	"time"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func small() *App { return New(1_200, 17) }
+
+func TestSequentialDeterministic(t *testing.T) {
+	if small().Sequential() != small().Sequential() {
+		t.Fatalf("sequential checksum not deterministic")
+	}
+}
+
+func TestRootRegionsPartitionPoints(t *testing.T) {
+	a := small()
+	pts := a.gen()
+	regs := a.rootRegions(pts)
+	if len(regs) != a.RootGrid {
+		t.Fatalf("regions = %d, want %d", len(regs), a.RootGrid)
+	}
+	total := 0
+	for _, r := range regs {
+		total += len(r.pts)
+		for _, p := range r.pts {
+			if p.X < r.minX || p.X > r.maxX {
+				t.Fatalf("point %v outside region [%v,%v]", p, r.minX, r.maxX)
+			}
+		}
+	}
+	if total != a.N {
+		t.Fatalf("regions hold %d points, want %d", total, a.N)
+	}
+}
+
+func TestRegionLoadIsSkewed(t *testing.T) {
+	a := small()
+	regs := a.rootRegions(a.gen())
+	minC, maxC := a.N, 0
+	for _, r := range regs {
+		if len(r.pts) < minC {
+			minC = len(r.pts)
+		}
+		if len(r.pts) > maxC {
+			maxC = len(r.pts)
+		}
+	}
+	if maxC < 2*(minC+1) {
+		t.Fatalf("region loads too uniform: min %d max %d", minC, maxC)
+	}
+}
+
+func TestSplitConservesPoints(t *testing.T) {
+	r := region{minX: 0, minY: 0, maxX: 1, maxY: 1}
+	a := small()
+	r.pts = a.gen()[:500]
+	quads := split(r)
+	total := 0
+	for _, q := range quads {
+		total += len(q.pts)
+		for _, p := range q.pts {
+			if p.X < q.minX || p.X > q.maxX || p.Y < q.minY || p.Y > q.maxY {
+				t.Fatalf("point %v escaped its quadrant", p)
+			}
+		}
+	}
+	if total != 500 {
+		t.Fatalf("split lost points: %d", total)
+	}
+}
+
+func TestTriangulateProducesMesh(t *testing.T) {
+	a := small()
+	r := region{minX: 0, minY: 0, maxX: 1, maxY: 1, pts: a.gen()[:200]}
+	alive, steps := triangulate(r)
+	if alive < 200 {
+		t.Fatalf("alive triangles = %d, want >= n", alive)
+	}
+	if steps == 0 {
+		t.Fatalf("no cavity work recorded")
+	}
+}
+
+func TestTriangulateEmptyRegion(t *testing.T) {
+	alive, steps := triangulate(region{minX: 0, minY: 0, maxX: 1, maxY: 1})
+	if alive != 0 || steps != 0 {
+		t.Fatalf("empty region should be free: %d/%d", alive, steps)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	want := small().Sequential()
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS} {
+		rt, err := core.New(core.Config{
+			Cluster:  topology.Cluster{Places: 2, WorkersPerPlace: 2},
+			Policy:   policy,
+			Seed:     1,
+			IdlePoll: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := small().Parallel(rt)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if got != want {
+			t.Fatalf("%v: parallel %x != sequential %x", policy, got, want)
+		}
+	}
+}
+
+func TestTraceValidAndCalibrated(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() <= small().RootGrid {
+		t.Fatalf("trace has no recursion: %d tasks", g.NumTasks())
+	}
+	// DMG is the paper's flexible archetype: region tasks dominate, with
+	// one sensitive mesh-fold child per leaf.
+	if f := g.FlexibleFraction(); f < 0.6 {
+		t.Fatalf("flexible fraction = %v, want > 0.6", f)
+	}
+	mean := apps.MeanFlexibleCostNS(g)
+	if mean < 650_000_000 || mean > 810_000_000 {
+		t.Fatalf("mean flexible granularity = %d, want ~732ms", mean)
+	}
+}
+
+func TestTraceRunsInSimulator(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = 4, 2
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS} {
+		r, err := sim.Run(g, cl, policy, sim.Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if r.Counters.TasksExecuted != int64(g.NumTasks()) {
+			t.Fatalf("%v executed %d of %d", policy, r.Counters.TasksExecuted, g.NumTasks())
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package dmr implements the Lonestar Delaunay Mesh Refinement benchmark
+// (paper §VII: refining a mesh of 550K triangles so no angle is below 30
+// degrees). Each domain region owns a mesh; bad triangles (small minimum
+// angle) are fixed by inserting their circumcenter — a Bowyer–Watson
+// cavity operation that kills the bad triangle and may create new bad
+// ones, the classic irregular, dynamically unfolding workload.
+//
+// The region task is locality-flexible: it encapsulates its mesh and
+// points, and every cavity operation it spawns is local to wherever the
+// region landed (paper §II conditions a–d). The per-insert cavity tasks
+// are locality-sensitive children that inherit the executing place.
+package dmr
+
+import (
+	"fmt"
+	"sync"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/geom"
+	"distws/internal/task"
+	"distws/internal/trace"
+)
+
+// App configures one DMR instance.
+type App struct {
+	// N is the number of seed points (the initial mesh has ~2N triangles;
+	// paper scale works out to ~275_000 points for 550K triangles).
+	N int
+	// Seed drives the input distribution.
+	Seed int64
+	// MinAngleDeg is the refinement quality bound (the paper uses 30; the
+	// default here is 26 to keep cascades bounded without boundary
+	// segment handling).
+	MinAngleDeg float64
+	// RootGrid is the number of domain regions.
+	RootGrid int
+	// CapFactor bounds inserts per region at CapFactor×points (safety
+	// against pathological cascades near region borders).
+	CapFactor int
+	// GranularityNS is the Table I calibration target (899 ms).
+	GranularityNS int64
+}
+
+// New returns a DMR app over n seed points.
+func New(n int, seed int64) *App {
+	return &App{
+		N:             n,
+		Seed:          seed,
+		MinAngleDeg:   26,
+		RootGrid:      64,
+		CapFactor:     8,
+		GranularityNS: 899_000_000, // Table I: 899 ms
+	}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "dmr" }
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gen produces clustered seed points (clusters produce skinny triangles
+// at their borders — plenty of refinement work, unevenly distributed).
+func (a *App) gen() []geom.Point {
+	pts := make([]geom.Point, a.N)
+	for i := range pts {
+		h := mix(uint64(a.Seed), uint64(i))
+		var x, y float64
+		switch h % 8 {
+		case 0, 1, 2, 3:
+			x = 0.05 + 0.3*unit(mix(h, 1))
+			y = 0.1 + 0.25*unit(mix(h, 2))
+		case 4, 5:
+			x = 0.6 + 0.35*unit(mix(h, 3))
+			y = 0.55 + 0.4*unit(mix(h, 4))
+		default:
+			x, y = unit(mix(h, 5)), unit(mix(h, 6))
+		}
+		pts[i] = geom.Point{X: x, Y: y}
+	}
+	return pts
+}
+
+// regionOf assigns a point to a column stripe.
+func (a *App) regionOf(p geom.Point) int {
+	i := int(p.X * float64(a.RootGrid))
+	if i < 0 {
+		i = 0
+	}
+	if i >= a.RootGrid {
+		i = a.RootGrid - 1
+	}
+	return i
+}
+
+// regionBounds returns stripe i's box.
+func (a *App) regionBounds(i int) (minX, minY, maxX, maxY float64) {
+	return float64(i) / float64(a.RootGrid), 0, float64(i+1) / float64(a.RootGrid), 1
+}
+
+// isBad reports whether triangle t of m needs refinement.
+func (a *App) isBad(m *geom.Mesh, t int) bool {
+	if !m.Tris[t].Alive || m.HasSuperVertex(t) {
+		return false
+	}
+	v := m.Tris[t].V
+	return geom.MinAngleDeg(m.Pts[v[0]], m.Pts[v[1]], m.Pts[v[2]]) < a.MinAngleDeg
+}
+
+// cavityRec records one refinement insert: the cavity size (work) and
+// the cascade generation (0 = initial bad triangle; g+1 = created by a
+// generation-g cavity). Cavities of the same generation are independent
+// and refine in parallel, as in Galois-style optimistic DMR.
+type cavityRec struct {
+	Size int
+	Gen  int
+}
+
+// refineStats records one region's refinement outcome.
+type refineStats struct {
+	pts      int
+	inserts  int
+	alive    int
+	cavities []cavityRec
+}
+
+// refineRegion builds and refines one region's mesh.
+func (a *App) refineRegion(ri int, pts []geom.Point) refineStats {
+	minX, minY, maxX, maxY := a.regionBounds(ri)
+	m := geom.NewMesh(minX, minY, maxX, maxY)
+	for _, p := range pts {
+		m.Insert(p)
+	}
+	st := refineStats{pts: len(pts)}
+	// Seed the work queue with all bad triangles (cascade generation 0).
+	type workItem struct {
+		tri, gen int
+	}
+	var queue []workItem
+	for t := range m.Tris {
+		if a.isBad(m, t) {
+			queue = append(queue, workItem{t, 0})
+		}
+	}
+	cap := a.CapFactor*len(pts) + 64
+	for len(queue) > 0 && st.inserts < cap {
+		it := queue[0]
+		queue = queue[1:]
+		if !a.isBad(m, it.tri) {
+			continue // killed or fixed by an earlier cavity
+		}
+		v := m.Tris[it.tri].V
+		cc, ok := geom.Circumcenter(m.Pts[v[0]], m.Pts[v[1]], m.Pts[v[2]])
+		if !ok || cc.X <= minX || cc.X >= maxX || cc.Y <= minY || cc.Y >= maxY {
+			continue // no boundary splitting across regions; skip
+		}
+		before := m.InsertSteps
+		created, err := m.Insert(cc)
+		if err != nil {
+			continue
+		}
+		st.inserts++
+		st.cavities = append(st.cavities, cavityRec{Size: m.InsertSteps - before, Gen: it.gen})
+		for _, nt := range created {
+			if a.isBad(m, nt) {
+				queue = append(queue, workItem{nt, it.gen + 1})
+			}
+		}
+	}
+	st.alive = m.NumAlive()
+	return st
+}
+
+// partition groups the points by region.
+func (a *App) partition(pts []geom.Point) [][]geom.Point {
+	regs := make([][]geom.Point, a.RootGrid)
+	for _, p := range pts {
+		i := a.regionOf(p)
+		regs[i] = append(regs[i], p)
+	}
+	return regs
+}
+
+func checksum(stats []refineStats) uint64 {
+	h := apps.NewFnv()
+	for _, s := range stats {
+		h.Add(uint64(s.pts))
+		h.Add(uint64(s.inserts))
+		h.Add(uint64(s.alive))
+	}
+	return h.Sum()
+}
+
+// Sequential implements apps.App.
+func (a *App) Sequential() uint64 {
+	regs := a.partition(a.gen())
+	stats := make([]refineStats, a.RootGrid)
+	for i, pts := range regs {
+		stats[i] = a.refineRegion(i, pts)
+	}
+	return checksum(stats)
+}
+
+// regionPlace maps region i to a place.
+func (a *App) regionPlace(i, places int) int { return i * places / a.RootGrid }
+
+// Parallel implements apps.App.
+func (a *App) Parallel(rt *core.Runtime) (uint64, error) {
+	places := rt.Places()
+	regs := a.partition(a.gen())
+	stats := make([]refineStats, a.RootGrid)
+	var mu sync.Mutex
+	err := rt.Run(func(ctx *core.Ctx) {
+		ctx.Finish(func(c *core.Ctx) {
+			for i, pts := range regs {
+				i, pts := i, pts
+				loc := task.Locality{
+					Class:          task.Flexible,
+					MigrationBytes: 16*len(pts) + 128,
+					Blocks:         []uint64{uint64(i)},
+				}
+				c.AsyncLoc(a.regionPlace(i, places), loc, func(*core.Ctx) {
+					st := a.refineRegion(i, pts)
+					mu.Lock()
+					stats[i] = st
+					mu.Unlock()
+				})
+			}
+		})
+	})
+	if err != nil {
+		return 0, fmt.Errorf("dmr: %w", err)
+	}
+	return checksum(stats), nil
+}
+
+// Trace implements apps.App: the real refinement runs per region; the
+// region task (flexible, cost ∝ initial triangulation) parents a chain of
+// cascade generations. All cavities of one generation are independent
+// flexible tasks (they encapsulate their cavity); each carries a small
+// sensitive bookkeeping child (adjacency updates against the region mesh)
+// that is expensive to execute remotely — the task DistWS refuses to
+// migrate but DistWS-NS happily steals.
+func (a *App) Trace(places int) (*trace.Graph, error) {
+	b := trace.NewBuilder(a.Name())
+	regs := a.partition(a.gen())
+	for i, pts := range regs {
+		st := a.refineRegion(i, pts)
+		root := b.Root(trace.Task{
+			HomeMode:  trace.HomeFixed,
+			Home:      a.regionPlace(i, places),
+			CostNS:    int64(8*len(pts) + 1),
+			Flexible:  true,
+			MigBytes:  16*len(pts) + 128,
+			BaseMsgs:  1,
+			BaseBytes: 64,
+			Blocks:    regionBlocks(i, len(pts)),
+			BlockReps: 6,
+		})
+		// Group cavities by cascade generation.
+		maxGen := 0
+		for _, c := range st.cavities {
+			if c.Gen > maxGen {
+				maxGen = c.Gen
+			}
+		}
+		byGen := make([][]cavityRec, maxGen+1)
+		for _, c := range st.cavities {
+			byGen[c.Gen] = append(byGen[c.Gen], c)
+		}
+		prev := root
+		ci := 0
+		for g, gen := range byGen {
+			if len(gen) == 0 {
+				continue
+			}
+			// Generation coordinator: the mesh-commit point between waves.
+			coord := b.Child(prev, trace.Task{
+				HomeMode: trace.HomeInherit,
+				CostNS:   int64(len(gen) + 1),
+				Flexible: false,
+				Blocks:   regionBlocks(i, len(pts)),
+			})
+			for _, c := range gen {
+				cav := c.Size
+				id := b.Child(coord, trace.Task{
+					HomeMode: trace.HomeInherit,
+					CostNS:   int64(cav*8 + 1),
+					Flexible: true,
+					MigBytes: 64 * cav,
+					// Boundary write-back when the cavity ran off-home.
+					MigMsgs: 2,
+					// Mesh bookkeeping through the PGAS runtime.
+					BaseMsgs:  1 + cav/4,
+					BaseBytes: 32 * cav,
+					Blocks:    cavityBlocks(i, ci),
+					BlockReps: 6,
+				})
+				// Sensitive adjacency update against the region's mesh: if
+				// stolen in isolation it must reference the mesh remotely.
+				b.Child(id, trace.Task{
+					HomeMode:  trace.HomeInherit,
+					CostNS:    int64(cav*2 + 1),
+					Flexible:  false,
+					MigBytes:  32 * cav,
+					MigMsgs:   cav + 2,
+					Blocks:    regionBlocks(i, len(pts)),
+					BlockReps: 4,
+				})
+				ci++
+			}
+			prev = coord
+			_ = g
+		}
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("dmr: %w", err)
+	}
+	for i := range g.Tasks {
+		if n := len(g.Tasks[i].Children); n > 0 {
+			fr := make([]float64, n)
+			for j := range fr {
+				fr[j] = 1
+			}
+			g.Tasks[i].SpawnFrac = fr
+		}
+	}
+	if _, err := apps.CalibrateFlexibleGranularity(g, a.GranularityNS); err != nil {
+		return nil, fmt.Errorf("dmr: %w", err)
+	}
+	return g, nil
+}
+
+func regionBlocks(ri, npts int) []uint64 {
+	n := npts/64 + 1
+	if n > 48 {
+		n = 48
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(ri)<<32 | uint64(i)
+	}
+	return out
+}
+
+func cavityBlocks(ri, ci int) []uint64 {
+	return []uint64{uint64(ri)<<32 | uint64(ci%48)}
+}
+
+var _ apps.App = (*App)(nil)

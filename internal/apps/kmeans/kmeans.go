@@ -1,0 +1,376 @@
+// Package kmeans implements the Cowichan k-Means benchmark (paper §VII:
+// k-means clustering into four clusters over 1000 iterations). Points are
+// distributed across places by spatial stripe, so clustered inputs give
+// places very different point counts — the static imbalance DistWS
+// repairs by stealing flexible assignment chunks.
+//
+// The reference "sequential" implementation uses the same chunked
+// reduction order as the parallel one, so both produce bit-identical
+// centroids and checksums.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/task"
+	"distws/internal/trace"
+)
+
+// Point is a 2-D sample.
+type Point struct{ X, Y float64 }
+
+// App configures one k-Means instance.
+type App struct {
+	// N is the number of points.
+	N int
+	// K is the number of clusters (the paper uses 4).
+	K int
+	// Iters is the number of Lloyd iterations (the paper uses 1000).
+	Iters int
+	// Seed drives the input distribution.
+	Seed int64
+	// ChunkSize is the number of points per assignment task.
+	ChunkSize int
+	// GranularityNS is the Table I calibration target (383 ms).
+	GranularityNS int64
+}
+
+// New returns a k-Means app over n points for iters iterations.
+func New(n, iters int, seed int64) *App {
+	chunk := n / 256
+	if chunk < 32 {
+		chunk = 32
+	}
+	return &App{
+		N:             n,
+		K:             4,
+		Iters:         iters,
+		Seed:          seed,
+		ChunkSize:     chunk,
+		GranularityNS: 383_000_000, // Table I: 383 ms
+	}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "kmeans" }
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gen produces clustered points: several Gaussian-ish blobs of very
+// different sizes, sorted by x so that stripe distribution over places is
+// skewed.
+func (a *App) gen() []Point {
+	pts := make([]Point, 0, a.N)
+	blobs := []struct {
+		cx, cy, r float64
+		weight    int
+	}{
+		{0.15, 0.2, 0.05, 5},
+		{0.2, 0.7, 0.08, 1},
+		{0.55, 0.4, 0.1, 2},
+		{0.85, 0.8, 0.04, 8},
+	}
+	totalW := 0
+	for _, b := range blobs {
+		totalW += b.weight
+	}
+	i := 0
+	for len(pts) < a.N {
+		h := mix(uint64(a.Seed), uint64(i))
+		i++
+		w := int(h % uint64(totalW))
+		var blob int
+		for bi, b := range blobs {
+			if w < b.weight {
+				blob = bi
+				break
+			}
+			w -= b.weight
+		}
+		bl := blobs[blob]
+		// Two hashes give a rough 2-D Gaussian via sum of uniforms.
+		u1 := unit(mix(h, 1)) + unit(mix(h, 2)) - 1
+		u2 := unit(mix(h, 3)) + unit(mix(h, 4)) - 1
+		pts = append(pts, Point{bl.cx + bl.r*u1, bl.cy + bl.r*u2})
+	}
+	// Sort by x (deterministic) so stripes over places carry skewed counts.
+	sortPointsByX(pts)
+	return pts
+}
+
+func sortPointsByX(p []Point) {
+	// Insertion-free deterministic sort: simple mergesort to avoid pulling
+	// in sort.Slice's unstable ordering on ties (full determinism).
+	if len(p) < 2 {
+		return
+	}
+	mid := len(p) / 2
+	left := append([]Point(nil), p[:mid]...)
+	right := append([]Point(nil), p[mid:]...)
+	sortPointsByX(left)
+	sortPointsByX(right)
+	i, j := 0, 0
+	for k := range p {
+		if i < len(left) && (j >= len(right) || left[i].X <= right[j].X) {
+			p[k] = left[i]
+			i++
+		} else {
+			p[k] = right[j]
+			j++
+		}
+	}
+}
+
+// chunks returns the [lo,hi) chunk boundaries over n points.
+func (a *App) chunks() [][2]int {
+	var out [][2]int
+	for lo := 0; lo < a.N; lo += a.ChunkSize {
+		hi := lo + a.ChunkSize
+		if hi > a.N {
+			hi = a.N
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// partial accumulates one chunk's contribution to the new centroids.
+type partial struct {
+	sumX, sumY []float64
+	count      []int64
+}
+
+func newPartial(k int) *partial {
+	return &partial{sumX: make([]float64, k), sumY: make([]float64, k), count: make([]int64, k)}
+}
+
+// assignChunk assigns pts[lo:hi) to the nearest centroid, accumulating
+// into a fresh partial.
+func (a *App) assignChunk(pts []Point, cents []Point, lo, hi int) *partial {
+	p := newPartial(a.K)
+	for i := lo; i < hi; i++ {
+		best, bestD := 0, math.MaxFloat64
+		for k := 0; k < a.K; k++ {
+			dx, dy := pts[i].X-cents[k].X, pts[i].Y-cents[k].Y
+			if d := dx*dx + dy*dy; d < bestD {
+				best, bestD = k, d
+			}
+		}
+		p.sumX[best] += pts[i].X
+		p.sumY[best] += pts[i].Y
+		p.count[best]++
+	}
+	return p
+}
+
+// reduce folds partials (in chunk order) into new centroids; empty
+// clusters keep their previous centroid.
+func (a *App) reduce(parts []*partial, prev []Point) []Point {
+	acc := newPartial(a.K)
+	for _, p := range parts {
+		for k := 0; k < a.K; k++ {
+			acc.sumX[k] += p.sumX[k]
+			acc.sumY[k] += p.sumY[k]
+			acc.count[k] += p.count[k]
+		}
+	}
+	next := make([]Point, a.K)
+	for k := 0; k < a.K; k++ {
+		if acc.count[k] == 0 {
+			next[k] = prev[k]
+			continue
+		}
+		next[k] = Point{acc.sumX[k] / float64(acc.count[k]), acc.sumY[k] / float64(acc.count[k])}
+	}
+	return next
+}
+
+// initialCentroids picks K deterministic spread seeds.
+func (a *App) initialCentroids(pts []Point) []Point {
+	cents := make([]Point, a.K)
+	for k := 0; k < a.K; k++ {
+		cents[k] = pts[(k*len(pts))/a.K+len(pts)/(2*a.K)]
+	}
+	return cents
+}
+
+func (a *App) checksum(cents []Point, counts []int64) uint64 {
+	h := apps.NewFnv()
+	for k := range cents {
+		h.AddFloat(cents[k].X)
+		h.AddFloat(cents[k].Y)
+		h.Add(uint64(counts[k]))
+	}
+	return h.Sum()
+}
+
+// run executes the algorithm with a pluggable chunk executor, so the
+// sequential and parallel paths share every line of numeric code.
+func (a *App) run(eachIter func(pts, cents []Point, chunks [][2]int, parts []*partial)) uint64 {
+	pts := a.gen()
+	cents := a.initialCentroids(pts)
+	chunks := a.chunks()
+	var lastCounts []int64
+	for iter := 0; iter < a.Iters; iter++ {
+		parts := make([]*partial, len(chunks))
+		eachIter(pts, cents, chunks, parts)
+		cents = a.reduce(parts, cents)
+		lastCounts = make([]int64, a.K)
+		for _, p := range parts {
+			for k := 0; k < a.K; k++ {
+				lastCounts[k] += p.count[k]
+			}
+		}
+	}
+	return a.checksum(cents, lastCounts)
+}
+
+// Sequential implements apps.App.
+func (a *App) Sequential() uint64 {
+	return a.run(func(pts, cents []Point, chunks [][2]int, parts []*partial) {
+		for ci, ch := range chunks {
+			parts[ci] = a.assignChunk(pts, cents, ch[0], ch[1])
+		}
+	})
+}
+
+// chunkPlace maps a chunk to the place owning its spatial region: the
+// domain [0,1) is cut into equal x-stripes, one per place. Clustered
+// inputs therefore give places very different chunk counts — the static
+// imbalance the paper's scheduler repairs.
+func chunkPlace(pts []Point, lo, places int) int {
+	x := pts[lo].X
+	p := int(x * float64(places))
+	if p < 0 {
+		p = 0
+	}
+	if p >= places {
+		p = places - 1
+	}
+	return p
+}
+
+// Parallel implements apps.App.
+func (a *App) Parallel(rt *core.Runtime) (uint64, error) {
+	places := rt.Places()
+	var sum uint64
+	err := rt.Run(func(ctx *core.Ctx) {
+		sum = a.run(func(pts, cents []Point, chunks [][2]int, parts []*partial) {
+			ctx.Finish(func(c *core.Ctx) {
+				for ci, ch := range chunks {
+					ci, ch := ci, ch
+					home := chunkPlace(pts, ch[0], places)
+					loc := task.Locality{
+						Class:          task.Flexible,
+						MigrationBytes: 16 * (ch[1] - ch[0]),
+						Blocks:         []uint64{uint64(ci)},
+					}
+					c.AsyncLoc(home, loc, func(*core.Ctx) {
+						parts[ci] = a.assignChunk(pts, cents, ch[0], ch[1])
+					})
+				}
+			})
+		})
+	})
+	if err != nil {
+		return 0, fmt.Errorf("kmeans: %w", err)
+	}
+	return sum, nil
+}
+
+// Trace implements apps.App: per iteration one flexible task per chunk
+// (cost ∝ chunk×K distance evaluations), chained per chunk across
+// iterations, plus a centroid-reduction task per iteration that exchanges
+// messages with every place.
+func (a *App) Trace(places int) (*trace.Graph, error) {
+	b := trace.NewBuilder(a.Name())
+	pts := a.gen()
+	chunks := a.chunks()
+	prev := make([]int, len(chunks))
+	prevReduce := -1
+	for iter := 0; iter < a.Iters; iter++ {
+		for ci, ch := range chunks {
+			sz := ch[1] - ch[0]
+			t := trace.Task{
+				HomeMode: trace.HomeFixed,
+				Home:     chunkPlace(pts, ch[0], places),
+				CostNS:   int64(sz * a.K),
+				Flexible: true,
+				MigBytes: 16 * sz,
+				// Publishing the partial sums back to the reducer.
+				BaseMsgs:  1,
+				BaseBytes: 16 * a.K,
+				Blocks:    chunkBlocks(ci, sz),
+				BlockReps: 4,
+			}
+			if iter == 0 {
+				prev[ci] = b.Root(t)
+			} else {
+				t.HomeMode = trace.HomeFixed // chunks stay with their stripe
+				id := b.Child(prev[ci], t)
+				prev[ci] = id
+			}
+		}
+		// The reduction joins all partials; modelled as a sensitive task
+		// at place 0 chained across iterations, gathering from and
+		// broadcasting to every other place.
+		rt := trace.Task{
+			HomeMode:  trace.HomeFixed,
+			Home:      0,
+			CostNS:    int64(a.K * len(chunks)),
+			Flexible:  false,
+			BaseMsgs:  2 * (places - 1),
+			BaseBytes: 32 * a.K * (places - 1),
+		}
+		if prevReduce < 0 {
+			prevReduce = b.Root(rt)
+		} else {
+			prevReduce = b.Child(prevReduce, rt)
+		}
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("kmeans: %w", err)
+	}
+	// Iteration ordering: children spawn at their parent's end.
+	for i := range g.Tasks {
+		if n := len(g.Tasks[i].Children); n > 0 {
+			fr := make([]float64, n)
+			for j := range fr {
+				fr[j] = 1
+			}
+			g.Tasks[i].SpawnFrac = fr
+		}
+	}
+	if _, err := apps.CalibrateFlexibleGranularity(g, a.GranularityNS); err != nil {
+		return nil, fmt.Errorf("kmeans: %w", err)
+	}
+	return g, nil
+}
+
+func chunkBlocks(ci, sz int) []uint64 {
+	n := sz/256 + 1
+	if n > 32 {
+		n = 32
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(ci)<<16 | uint64(i)
+	}
+	return out
+}
+
+var _ apps.App = (*App)(nil)

@@ -1,0 +1,135 @@
+package kmeans
+
+import (
+	"testing"
+	"time"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func small() *App { return New(4_000, 5, 11) }
+
+func TestSequentialDeterministic(t *testing.T) {
+	if small().Sequential() != small().Sequential() {
+		t.Fatalf("sequential checksum not deterministic")
+	}
+}
+
+func TestGenIsClusteredAndSorted(t *testing.T) {
+	pts := small().gen()
+	if len(pts) != 4_000 {
+		t.Fatalf("gen produced %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X > pts[i].X {
+			t.Fatalf("points not sorted by x at %d", i)
+		}
+	}
+}
+
+func TestSpatialPlacementIsSkewed(t *testing.T) {
+	a := small()
+	pts := a.gen()
+	counts := make([]int, 4)
+	for _, ch := range a.chunks() {
+		counts[chunkPlace(pts, ch[0], 4)]++
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 2*minC+1 {
+		t.Fatalf("chunk placement not skewed enough for the benchmark: %v", counts)
+	}
+}
+
+func TestAssignChunkBasic(t *testing.T) {
+	a := small()
+	pts := []Point{{0, 0}, {1, 1}, {0.1, 0}, {0.9, 1}}
+	cents := []Point{{0, 0}, {1, 1}, {-5, -5}, {5, 5}}
+	p := a.assignChunk(pts, cents, 0, 4)
+	if p.count[0] != 2 || p.count[1] != 2 {
+		t.Fatalf("counts = %v, want [2 2 0 0]", p.count)
+	}
+}
+
+func TestReduceHandlesEmptyCluster(t *testing.T) {
+	a := small()
+	p := newPartial(a.K)
+	p.sumX[0], p.sumY[0], p.count[0] = 10, 20, 2
+	prev := []Point{{9, 9}, {7, 7}, {6, 6}, {5, 5}}
+	next := a.reduce([]*partial{p}, prev)
+	if next[0].X != 5 || next[0].Y != 10 {
+		t.Fatalf("cluster 0 centroid = %v", next[0])
+	}
+	if next[1] != prev[1] {
+		t.Fatalf("empty cluster should keep previous centroid")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	want := small().Sequential()
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS} {
+		rt, err := core.New(core.Config{
+			Cluster:  topology.Cluster{Places: 2, WorkersPerPlace: 2},
+			Policy:   policy,
+			Seed:     1,
+			IdlePoll: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := small().Parallel(rt)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if got != want {
+			t.Fatalf("%v: parallel %x != sequential %x", policy, got, want)
+		}
+	}
+}
+
+func TestTraceValidAndCalibrated(t *testing.T) {
+	a := small()
+	g, err := a.Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nChunks := len(a.chunks())
+	want := (nChunks + 1) * a.Iters // chunk tasks + reduce task per iter
+	if g.NumTasks() != want {
+		t.Fatalf("NumTasks = %d, want %d", g.NumTasks(), want)
+	}
+	mean := apps.MeanFlexibleCostNS(g)
+	if mean < 350_000_000 || mean > 420_000_000 {
+		t.Fatalf("mean flexible granularity = %d, want ~383ms", mean)
+	}
+}
+
+func TestTraceRunsInSimulator(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = 4, 2
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS, sched.DistWSNS} {
+		r, err := sim.Run(g, cl, policy, sim.Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if r.Counters.TasksExecuted != int64(g.NumTasks()) {
+			t.Fatalf("%v executed %d of %d", policy, r.Counters.TasksExecuted, g.NumTasks())
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package nbody implements the Cowichan n-Body benchmark with the
+// Barnes–Hut algorithm (paper §VII: 220K bodies). Each step builds a
+// quadtree and computes forces per body with the θ-criterion; bodies in
+// dense regions traverse deeper subtrees, so equal-count body chunks have
+// very different interaction counts — the irregular parallelism the paper
+// highlights for this app.
+//
+// Force chunks are locality-flexible: they carry their bodies (one copy)
+// and read the globally shared tree, matching the paper's observation
+// that n-Body benefits strongly from selective distributed stealing
+// (19% at 128 workers).
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/task"
+	"distws/internal/trace"
+)
+
+// Body is a point mass with velocity.
+type Body struct {
+	X, Y, VX, VY, M float64
+}
+
+// App configures one n-Body instance.
+type App struct {
+	// N is the number of bodies (paper scale: 220_000).
+	N int
+	// Steps is the number of leapfrog steps.
+	Steps int
+	// Theta is the Barnes–Hut opening angle (0.5 in the paper era).
+	Theta float64
+	// Seed drives the initial distribution.
+	Seed int64
+	// ChunkSize is the number of bodies per force task.
+	ChunkSize int
+	// GranularityNS is the Table I calibration target (623 ms).
+	GranularityNS int64
+}
+
+// New returns an n-Body app over n bodies for steps steps.
+func New(n, steps int, seed int64) *App {
+	chunk := n / 256
+	if chunk < 32 {
+		chunk = 32
+	}
+	return &App{
+		N:             n,
+		Steps:         steps,
+		Theta:         0.5,
+		Seed:          seed,
+		ChunkSize:     chunk,
+		GranularityNS: 623_000_000, // Table I: 623 ms
+	}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "nbody" }
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gen produces a clustered body distribution: a dense core plus a sparse
+// halo, sorted by x so index chunks map to spatial stripes.
+func (a *App) gen() []Body {
+	bodies := make([]Body, a.N)
+	for i := range bodies {
+		h := mix(uint64(a.Seed), uint64(i))
+		var x, y float64
+		if h%10 < 7 {
+			// Dense core around (0.3, 0.3).
+			r := 0.08 * math.Sqrt(unit(mix(h, 1)))
+			th := 2 * math.Pi * unit(mix(h, 2))
+			x, y = 0.3+r*math.Cos(th), 0.3+r*math.Sin(th)
+		} else {
+			// Sparse halo over the whole domain.
+			x, y = unit(mix(h, 3)), unit(mix(h, 4))
+		}
+		bodies[i] = Body{X: x, Y: y, M: 0.5 + unit(mix(h, 5))}
+	}
+	sortBodiesByX(bodies)
+	return bodies
+}
+
+func sortBodiesByX(b []Body) {
+	if len(b) < 2 {
+		return
+	}
+	mid := len(b) / 2
+	left := append([]Body(nil), b[:mid]...)
+	right := append([]Body(nil), b[mid:]...)
+	sortBodiesByX(left)
+	sortBodiesByX(right)
+	i, j := 0, 0
+	for k := range b {
+		if i < len(left) && (j >= len(right) || left[i].X <= right[j].X) {
+			b[k] = left[i]
+			i++
+		} else {
+			b[k] = right[j]
+			j++
+		}
+	}
+}
+
+// node is a quadtree node.
+type node struct {
+	x, y, size     float64 // square cell: lower-left corner and side
+	cmx, cmy, mass float64 // centre of mass
+	body           int     // body index for leaves, -1 otherwise
+	kids           [4]int32
+	n              int // bodies under this node
+}
+
+// tree is a quadtree over the unit square.
+type tree struct {
+	nodes []node
+}
+
+const noKid = int32(-1)
+
+func newNode(x, y, size float64) node {
+	return node{x: x, y: y, size: size, body: -1, kids: [4]int32{noKid, noKid, noKid, noKid}}
+}
+
+// build constructs the quadtree for the bodies.
+func build(bodies []Body) *tree {
+	t := &tree{}
+	t.nodes = append(t.nodes, newNode(0, 0, 1))
+	for i := range bodies {
+		t.insert(0, bodies, i, 0)
+	}
+	t.summarize(0, bodies)
+	return t
+}
+
+// quadrant returns which child quadrant of nd contains (x, y).
+func (nd *node) quadrant(x, y float64) int {
+	q := 0
+	if x >= nd.x+nd.size/2 {
+		q |= 1
+	}
+	if y >= nd.y+nd.size/2 {
+		q |= 2
+	}
+	return q
+}
+
+const maxDepth = 48
+
+// insert adds body bi under node ni.
+func (t *tree) insert(ni int, bodies []Body, bi, depth int) {
+	nd := &t.nodes[ni]
+	nd.n++
+	if nd.n == 1 {
+		nd.body = bi
+		return
+	}
+	if depth >= maxDepth {
+		// Coincident points: keep the node as a multi-body leaf.
+		return
+	}
+	// Push any resident body down, then descend with the new one.
+	if nd.body >= 0 {
+		old := nd.body
+		nd.body = -1
+		t.child(ni, bodies[old].X, bodies[old].Y)
+		// t.nodes may have been reallocated; re-take the pointer.
+		ci := t.kid(ni, bodies[old].X, bodies[old].Y)
+		t.insert(int(ci), bodies, old, depth+1)
+	}
+	t.child(ni, bodies[bi].X, bodies[bi].Y)
+	ci := t.kid(ni, bodies[bi].X, bodies[bi].Y)
+	t.insert(int(ci), bodies, bi, depth+1)
+}
+
+// child ensures the child quadrant containing (x,y) exists.
+func (t *tree) child(ni int, x, y float64) {
+	nd := &t.nodes[ni]
+	q := nd.quadrant(x, y)
+	if nd.kids[q] != noKid {
+		return
+	}
+	half := nd.size / 2
+	cx, cy := nd.x, nd.y
+	if q&1 != 0 {
+		cx += half
+	}
+	if q&2 != 0 {
+		cy += half
+	}
+	t.nodes = append(t.nodes, newNode(cx, cy, half))
+	t.nodes[ni].kids[q] = int32(len(t.nodes) - 1)
+}
+
+// kid returns the child of ni containing (x,y).
+func (t *tree) kid(ni int, x, y float64) int32 {
+	nd := &t.nodes[ni]
+	return nd.kids[nd.quadrant(x, y)]
+}
+
+// summarize computes centres of mass bottom-up.
+func (t *tree) summarize(ni int, bodies []Body) (mass, mx, my float64) {
+	nd := &t.nodes[ni]
+	if nd.body >= 0 {
+		b := bodies[nd.body]
+		nd.mass, nd.cmx, nd.cmy = b.M, b.X, b.Y
+		return nd.mass, nd.cmx * nd.mass, nd.cmy * nd.mass
+	}
+	var m, sx, sy float64
+	for _, k := range nd.kids {
+		if k == noKid {
+			continue
+		}
+		km, kx, ky := t.summarize(int(k), bodies)
+		m += km
+		sx += kx
+		sy += ky
+	}
+	nd.mass = m
+	if m > 0 {
+		nd.cmx, nd.cmy = sx/m, sy/m
+	}
+	return m, sx, sy
+}
+
+// force computes the acceleration on body bi with the θ-criterion,
+// returning (ax, ay, interactions).
+func (t *tree) force(bodies []Body, bi int, theta float64) (float64, float64, int) {
+	const soft = 1e-4
+	b := bodies[bi]
+	var ax, ay float64
+	inter := 0
+	var rec func(ni int)
+	rec = func(ni int) {
+		nd := &t.nodes[ni]
+		if nd.n == 0 || nd.mass == 0 {
+			return
+		}
+		dx, dy := nd.cmx-b.X, nd.cmy-b.Y
+		d2 := dx*dx + dy*dy + soft
+		if nd.body == bi && nd.n == 1 {
+			return // self
+		}
+		if nd.body >= 0 || nd.size*nd.size < theta*theta*d2 {
+			// Leaf or far enough: treat as a point mass.
+			inv := 1 / (d2 * math.Sqrt(d2))
+			ax += nd.mass * dx * inv
+			ay += nd.mass * dy * inv
+			inter++
+			return
+		}
+		for _, k := range nd.kids {
+			if k != noKid {
+				rec(int(k))
+			}
+		}
+	}
+	rec(0)
+	return ax, ay, inter
+}
+
+// chunks returns the chunk boundaries.
+func (a *App) chunks() [][2]int {
+	var out [][2]int
+	for lo := 0; lo < a.N; lo += a.ChunkSize {
+		hi := lo + a.ChunkSize
+		if hi > a.N {
+			hi = a.N
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// forceChunk computes accelerations for bodies[lo:hi), returning the
+// total interaction count (the chunk's work units).
+func (a *App) forceChunk(t *tree, bodies []Body, ax, ay []float64, lo, hi int) int {
+	total := 0
+	for i := lo; i < hi; i++ {
+		x, y, n := t.force(bodies, i, a.Theta)
+		ax[i], ay[i] = x, y
+		total += n
+	}
+	return total
+}
+
+// integrate advances bodies[lo:hi) one leapfrog step, clamping to the
+// unit square.
+func integrate(bodies []Body, ax, ay []float64, lo, hi int) {
+	const dt = 1e-3
+	for i := lo; i < hi; i++ {
+		bodies[i].VX += ax[i] * dt
+		bodies[i].VY += ay[i] * dt
+		bodies[i].X += bodies[i].VX * dt
+		bodies[i].Y += bodies[i].VY * dt
+		if bodies[i].X < 0 {
+			bodies[i].X, bodies[i].VX = 0, -bodies[i].VX
+		}
+		if bodies[i].X >= 1 {
+			bodies[i].X, bodies[i].VX = 0.999999, -bodies[i].VX
+		}
+		if bodies[i].Y < 0 {
+			bodies[i].Y, bodies[i].VY = 0, -bodies[i].VY
+		}
+		if bodies[i].Y >= 1 {
+			bodies[i].Y, bodies[i].VY = 0.999999, -bodies[i].VY
+		}
+	}
+}
+
+func checksum(bodies []Body) uint64 {
+	h := apps.NewFnv()
+	for i := range bodies {
+		h.AddFloat(bodies[i].X)
+		h.AddFloat(bodies[i].Y)
+	}
+	return h.Sum()
+}
+
+// run executes the simulation with a pluggable chunk executor.
+func (a *App) run(eachStep func(t *tree, bodies []Body, ax, ay []float64, chunks [][2]int)) uint64 {
+	bodies := a.gen()
+	ax := make([]float64, a.N)
+	ay := make([]float64, a.N)
+	chunks := a.chunks()
+	for s := 0; s < a.Steps; s++ {
+		t := build(bodies)
+		eachStep(t, bodies, ax, ay, chunks)
+		integrate(bodies, ax, ay, 0, a.N)
+	}
+	return checksum(bodies)
+}
+
+// Sequential implements apps.App.
+func (a *App) Sequential() uint64 {
+	return a.run(func(t *tree, bodies []Body, ax, ay []float64, chunks [][2]int) {
+		for _, ch := range chunks {
+			a.forceChunk(t, bodies, ax, ay, ch[0], ch[1])
+		}
+	})
+}
+
+// chunkPlace assigns a chunk to the place owning its spatial stripe.
+func chunkPlace(bodies []Body, lo, places int) int {
+	p := int(bodies[lo].X * float64(places))
+	if p < 0 {
+		p = 0
+	}
+	if p >= places {
+		p = places - 1
+	}
+	return p
+}
+
+// Parallel implements apps.App.
+func (a *App) Parallel(rt *core.Runtime) (uint64, error) {
+	places := rt.Places()
+	var sum uint64
+	err := rt.Run(func(ctx *core.Ctx) {
+		sum = a.run(func(t *tree, bodies []Body, ax, ay []float64, chunks [][2]int) {
+			ctx.Finish(func(c *core.Ctx) {
+				for _, ch := range chunks {
+					ch := ch
+					home := chunkPlace(bodies, ch[0], places)
+					loc := task.Locality{
+						Class:          task.Flexible,
+						MigrationBytes: 40 * (ch[1] - ch[0]),
+						Blocks:         []uint64{uint64(ch[0])},
+					}
+					c.AsyncLoc(home, loc, func(*core.Ctx) {
+						a.forceChunk(t, bodies, ax, ay, ch[0], ch[1])
+					})
+				}
+			})
+		})
+	})
+	if err != nil {
+		return 0, fmt.Errorf("nbody: %w", err)
+	}
+	return sum, nil
+}
+
+// Trace implements apps.App: the real simulation runs and each force
+// chunk becomes a flexible task whose cost is its measured interaction
+// count; a tree-build task per step (sensitive, place 0) parents the
+// step's chunks.
+func (a *App) Trace(places int) (*trace.Graph, error) {
+	b := trace.NewBuilder(a.Name())
+	bodies := a.gen()
+	ax := make([]float64, a.N)
+	ay := make([]float64, a.N)
+	chunks := a.chunks()
+	prevBuild := -1
+	for s := 0; s < a.Steps; s++ {
+		t := build(bodies)
+		buildTask := trace.Task{
+			HomeMode: trace.HomeFixed,
+			Home:     0,
+			CostNS:   int64(a.N), // tree build ~ O(n log n); n is fine at trace scale
+			Flexible: false,
+			// Broadcasting the tree summary to every place.
+			BaseMsgs:  places - 1,
+			BaseBytes: 64 * (places - 1),
+		}
+		var bt int
+		if prevBuild < 0 {
+			bt = b.Root(buildTask)
+		} else {
+			bt = b.Child(prevBuild, buildTask)
+		}
+		prevBuild = bt
+		for ci, ch := range chunks {
+			inter := a.forceChunk(t, bodies, ax, ay, ch[0], ch[1])
+			sz := ch[1] - ch[0]
+			fc := b.Child(bt, trace.Task{
+				HomeMode: trace.HomeFixed,
+				Home:     chunkPlace(bodies, ch[0], places),
+				CostNS:   int64(inter + sz),
+				Flexible: true,
+				MigBytes: 40 * sz,
+				// Remote tree reads when executed off-home: a fraction of
+				// traversals miss the replicated top levels.
+				MigMsgs:   inter / 200,
+				BaseMsgs:  1 + sz/256, // publishing updated accelerations
+				BaseBytes: 16 * sz,
+				Blocks:    chunkBlocks(ci, sz),
+				BlockReps: 4,
+			})
+			// Leapfrog integration of the chunk: locality-sensitive — it
+			// writes the chunk's bodies in place, so executing it away
+			// from the bodies means a remote reference per few bodies.
+			b.Child(fc, trace.Task{
+				HomeMode:  trace.HomeInherit,
+				CostNS:    int64(sz/4 + 1),
+				Flexible:  false,
+				MigBytes:  40 * sz,
+				MigMsgs:   sz/16 + 2,
+				Blocks:    chunkBlocks(ci, sz),
+				BlockReps: 2,
+			})
+		}
+		integrate(bodies, ax, ay, 0, a.N)
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("nbody: %w", err)
+	}
+	// Chunks of step s spawn at the end of the build task; the next build
+	// spawns after this one's chunks are modelled via its own SpawnFrac 1.
+	for i := range g.Tasks {
+		if n := len(g.Tasks[i].Children); n > 0 {
+			fr := make([]float64, n)
+			for j := range fr {
+				fr[j] = 1
+			}
+			g.Tasks[i].SpawnFrac = fr
+		}
+	}
+	if _, err := apps.CalibrateFlexibleGranularity(g, a.GranularityNS); err != nil {
+		return nil, fmt.Errorf("nbody: %w", err)
+	}
+	return g, nil
+}
+
+func chunkBlocks(ci, sz int) []uint64 {
+	n := sz/128 + 1
+	if n > 48 {
+		n = 48
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(ci)<<20 | uint64(i)
+	}
+	return out
+}
+
+var _ apps.App = (*App)(nil)

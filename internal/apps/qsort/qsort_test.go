@@ -1,0 +1,156 @@
+package qsort
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func small() *App { return New(20_000, 7) }
+
+func TestSequentialDeterministic(t *testing.T) {
+	a, b := small().Sequential(), small().Sequential()
+	if a != b {
+		t.Fatalf("sequential checksum not deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestSequentialMatchesStdlibSort(t *testing.T) {
+	a := small()
+	data := a.gen()
+	a.seqSort(data)
+	want := small().gen()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("element %d = %d, want %d", i, data[i], want[i])
+		}
+	}
+}
+
+func TestPartitionSplitsAroundPivot(t *testing.T) {
+	d := []int64{5, 3, 9, 1, 7, 2, 8}
+	l, r := partition(d)
+	if len(l) == 0 || len(r) == 0 || len(l)+len(r) != len(d) {
+		t.Fatalf("partition sizes %d/%d", len(l), len(r))
+	}
+	maxL := l[0]
+	for _, v := range l {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	for _, v := range r {
+		if v < maxL {
+			t.Fatalf("right element %d below left max %d", v, maxL)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	want := small().Sequential()
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS, sched.DistWSNS} {
+		rt, err := core.New(core.Config{
+			Cluster:  topology.Cluster{Places: 2, WorkersPerPlace: 2},
+			Policy:   policy,
+			Seed:     1,
+			IdlePoll: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := small().Parallel(rt)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if got != want {
+			t.Fatalf("%v: parallel checksum %x != sequential %x", policy, got, want)
+		}
+	}
+}
+
+func TestTraceValidAndCalibrated(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if g.NumTasks() < 50 {
+		t.Fatalf("trace too small: %d tasks", g.NumTasks())
+	}
+	if f := g.FlexibleFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("flexible fraction = %v, want in (0,1)", f)
+	}
+	// Calibration pins the mean flexible cost to Table I's 1.1 ms.
+	mean := apps.MeanFlexibleCostNS(g)
+	if mean < 1_000_000 || mean > 1_200_000 {
+		t.Fatalf("mean flexible granularity = %dns, want ~1.1ms", mean)
+	}
+	// Roots are spread over the places.
+	if len(g.Roots) != 4 {
+		t.Fatalf("roots = %d, want 4", len(g.Roots))
+	}
+}
+
+func TestTraceRunsInSimulator(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Paper()
+	cl.Places = 4
+	cl.WorkersPerPlace = 2
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS, sched.DistWSNS} {
+		r, err := sim.Run(g, cl, policy, sim.Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if r.Counters.TasksExecuted != int64(g.NumTasks()) {
+			t.Fatalf("%v executed %d of %d", policy, r.Counters.TasksExecuted, g.NumTasks())
+		}
+	}
+}
+
+func TestChecksumDetectsUnsorted(t *testing.T) {
+	sorted := []int64{1, 2, 3, 4}
+	unsorted := []int64{1, 3, 2, 4}
+	if checksum(sorted) == checksum(unsorted) {
+		t.Fatalf("checksum should distinguish sorted from unsorted")
+	}
+}
+
+func TestBucketsPartitionByRange(t *testing.T) {
+	data := []int64{0, 1 << 61, (1 << 61) + 5, 1 << 60, (1 << 62) - 1}
+	bks := buckets(data, 2)
+	total := 0
+	for p, b := range bks {
+		total += len(b)
+		width := (int64(1) << 62) / 2
+		for _, v := range b {
+			if got := int(v / width); got != p {
+				t.Fatalf("value %d landed in bucket %d, want %d", v, p, got)
+			}
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("buckets lost elements: %d of %d", total, len(data))
+	}
+}
+
+func TestBucketsAreSkewed(t *testing.T) {
+	// The quadratic value transform concentrates keys in low buckets.
+	a := small()
+	bks := buckets(a.gen(), 8)
+	if len(bks[0]) < 2*len(bks[7])+1 {
+		t.Fatalf("bucket sizes not skewed: first=%d last=%d", len(bks[0]), len(bks[7]))
+	}
+}

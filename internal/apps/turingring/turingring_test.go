@@ -1,0 +1,151 @@
+package turingring
+
+import (
+	"testing"
+	"time"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func small() *App { return New(64, 6, 3) }
+
+func TestSequentialDeterministic(t *testing.T) {
+	if small().Sequential() != small().Sequential() {
+		t.Fatalf("sequential checksum not deterministic")
+	}
+}
+
+func TestPopulationsStayBounded(t *testing.T) {
+	a := small()
+	cur := a.initial()
+	next := make([]Cell, len(cur))
+	for iter := 0; iter < a.Iters; iter++ {
+		for i := range cur {
+			next[i] = a.stepCell(cur, i, iter)
+			if next[i].Prey < 0 || next[i].Pred < 0 {
+				t.Fatalf("negative population at cell %d iter %d: %+v", i, iter, next[i])
+			}
+			if next[i].Prey > 200_000 || next[i].Pred > 200_000 {
+				t.Fatalf("population blew up at cell %d iter %d: %+v", i, iter, next[i])
+			}
+		}
+		cur, next = next, cur
+	}
+}
+
+func TestMigrationConservesAtQuietCells(t *testing.T) {
+	// outflow direction must be ±1 and fractions within (0,1].
+	a := small()
+	c := Cell{Prey: 5000, Pred: 500}
+	for i := 0; i < 32; i++ {
+		pOut, dOut, dir := a.outflow(i, 1, c)
+		if dir != 1 && dir != -1 {
+			t.Fatalf("direction = %d", dir)
+		}
+		if pOut < 0 || pOut > c.Prey || dOut < 0 || dOut > c.Pred {
+			t.Fatalf("outflow out of range: %v %v", pOut, dOut)
+		}
+	}
+}
+
+func TestBurstsCreateLargeLoadShifts(t *testing.T) {
+	// Somewhere in the run a cell's body count must change by >10x in one
+	// iteration — the imbalance the paper attributes to migration.
+	a := New(128, 12, 5)
+	cur := a.initial()
+	next := make([]Cell, len(cur))
+	sawBurst := false
+	for iter := 0; iter < a.Iters; iter++ {
+		for i := range cur {
+			next[i] = a.stepCell(cur, i, iter)
+			before, after := bodies(cur[i])+1, bodies(next[i])+1
+			if after > 10*before || before > 10*after {
+				sawBurst = true
+			}
+		}
+		cur, next = next, cur
+	}
+	if !sawBurst {
+		t.Fatalf("no order-of-magnitude load shift observed")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	want := small().Sequential()
+	for _, policy := range []sched.Kind{sched.X10WS, sched.DistWS} {
+		rt, err := core.New(core.Config{
+			Cluster:  topology.Cluster{Places: 2, WorkersPerPlace: 2},
+			Policy:   policy,
+			Seed:     1,
+			IdlePoll: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := small().Parallel(rt)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if got != want {
+			t.Fatalf("%v: parallel checksum %x != sequential %x", policy, got, want)
+		}
+	}
+}
+
+func TestTraceValidAndShaped(t *testing.T) {
+	a := small()
+	g, err := a.Trace(4)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	// One outer + one inner task per cell-iteration plus one coordinator
+	// per iteration.
+	want := a.Cells*a.Iters*2 + a.Iters
+	if g.NumTasks() != want {
+		t.Fatalf("NumTasks = %d, want %d", g.NumTasks(), want)
+	}
+	if len(g.Roots) != 1 {
+		t.Fatalf("roots = %d, want the iteration-0 coordinator only", len(g.Roots))
+	}
+	// Half the tasks (the outers) are flexible.
+	if f := g.FlexibleFraction(); f < 0.45 || f > 0.55 {
+		t.Fatalf("flexible fraction = %v, want ~0.5", f)
+	}
+	mean := apps.MeanFlexibleCostNS(g)
+	if mean < 1_700_000 || mean > 2_000_000 {
+		t.Fatalf("mean flexible granularity = %d, want ~1.86ms", mean)
+	}
+}
+
+func TestTraceRunsInSimulatorAllPolicies(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = 4, 2
+	for _, policy := range sched.Kinds() {
+		r, err := sim.Run(g, cl, policy, sim.Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if r.Counters.TasksExecuted != int64(g.NumTasks()) {
+			t.Fatalf("%v executed %d of %d", policy, r.Counters.TasksExecuted, g.NumTasks())
+		}
+	}
+}
+
+func TestWorkPerBodyRestoredAfterTrace(t *testing.T) {
+	a := small()
+	if _, err := a.Trace(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.WorkPerBody != 1 {
+		t.Fatalf("WorkPerBody = %d after Trace, want restored 1", a.WorkPerBody)
+	}
+}

@@ -1,0 +1,141 @@
+package uts
+
+import (
+	"testing"
+	"time"
+
+	"distws/internal/core"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func small() *App { return New(4, 8, 100_000, 5) }
+
+func TestSequentialDeterministic(t *testing.T) {
+	if small().Sequential() != small().Sequential() {
+		t.Fatalf("sequential checksum not deterministic")
+	}
+}
+
+func TestTreeIsNontrivialAndBounded(t *testing.T) {
+	n := small().Count()
+	if n < 100 {
+		t.Fatalf("tree too small (%d nodes); pick a better seed/shape", n)
+	}
+	if n >= small().MaxNodes {
+		t.Fatalf("tree hit the cap")
+	}
+}
+
+func TestTreeIsUnbalanced(t *testing.T) {
+	// Subtree sizes under the root must differ substantially.
+	a := small()
+	sizes := make([]int, a.RootKids)
+	for i := 0; i < a.RootKids; i++ {
+		sub := &App{RootKids: 0, Warmup: a.Warmup, MaxNodes: a.MaxNodes, Seed: a.Seed}
+		// Count the subtree rooted at child i by walking manually.
+		type frame struct {
+			id    uint64
+			depth int
+		}
+		stack := []frame{{childID(1, i), 1}}
+		for len(stack) > 0 && sizes[i] < a.MaxNodes {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sizes[i]++
+			for k := 0; k < sub.kids(f.id, f.depth); k++ {
+				stack = append(stack, frame{childID(f.id, k), f.depth + 1})
+			}
+		}
+	}
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS < 2*minS {
+		t.Fatalf("subtrees too balanced for UTS: %v", sizes)
+	}
+}
+
+func TestParallelMatchesChecksumXOR(t *testing.T) {
+	a := New(4, 6, 100_000, 5) // keep the runtime run small
+	want := a.ChecksumXOR()
+	for _, policy := range []sched.Kind{sched.DistWS, sched.RandomWS, sched.LifelineWS} {
+		rt, err := core.New(core.Config{
+			Cluster:  topology.Cluster{Places: 2, WorkersPerPlace: 2},
+			Policy:   policy,
+			Seed:     1,
+			IdlePoll: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Parallel(rt)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if got != want {
+			t.Fatalf("%v: parallel %x != reference %x", policy, got, want)
+		}
+	}
+}
+
+func TestParallelRejectsCappedTree(t *testing.T) {
+	a := New(4, 8, 10, 5) // cap guaranteed hit
+	rt, err := core.New(core.Config{
+		Cluster: topology.Cluster{Places: 1, WorkersPerPlace: 1},
+		Policy:  sched.DistWS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if _, err := a.Parallel(rt); err == nil {
+		t.Fatalf("capped tree should be rejected for parallel runs")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	a := small()
+	g, err := a.Trace(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != a.Count() {
+		t.Fatalf("trace has %d tasks, tree has %d nodes", g.NumTasks(), a.Count())
+	}
+	if len(g.Roots) != 1 {
+		t.Fatalf("UTS has one root, got %d", len(g.Roots))
+	}
+	if f := g.FlexibleFraction(); f != 1 {
+		t.Fatalf("all UTS tasks are flexible, got fraction %v", f)
+	}
+}
+
+func TestTraceRunsUnderUTSBaselines(t *testing.T) {
+	g, err := small().Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = 4, 2
+	for _, policy := range []sched.Kind{sched.DistWS, sched.RandomWS, sched.LifelineWS} {
+		r, err := sim.Run(g, cl, policy, sim.Options{Seed: 9})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if r.Counters.TasksExecuted != int64(g.NumTasks()) {
+			t.Fatalf("%v executed %d of %d", policy, r.Counters.TasksExecuted, g.NumTasks())
+		}
+		if r.Counters.TasksMigrated == 0 {
+			t.Fatalf("%v moved no work on a single-root UTS tree", policy)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package comm provides the inter-place message layer of the runtime. Two
+// interchangeable transports implement the same Endpoint interface:
+//
+//   - Mesh: in-process channels, used when all places live in one OS
+//     process (the common library configuration). Messages still flow
+//     through explicit envelopes so that the message and byte counters of
+//     Table III are meaningful.
+//   - TCP: a star-topology transport (place 0 is the hub) with gob-framed
+//     messages, used by cmd/distws-node to run places as separate OS
+//     processes on a real network.
+//
+// Every send increments the shared metrics.Counters: one message plus the
+// payload bytes. This is the accounting source for the paper's Table III.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distws/internal/metrics"
+)
+
+// Kind discriminates message purposes on the wire.
+type Kind uint8
+
+const (
+	// KindSpawn carries a task envelope to execute at the destination.
+	KindSpawn Kind = iota
+	// KindSpawnDone acknowledges completion of a remotely spawned task
+	// (used for distributed finish accounting).
+	KindSpawnDone
+	// KindStealReq asks the destination for surplus work.
+	KindStealReq
+	// KindStealResp answers a steal request (payload empty on failure).
+	KindStealResp
+	// KindData is an application-level remote data access (at() traffic).
+	KindData
+	// KindLifeline registers the sender on the destination's lifeline.
+	KindLifeline
+	// KindShutdown tells the destination to stop its workers.
+	KindShutdown
+)
+
+var kindNames = [...]string{
+	KindSpawn:     "spawn",
+	KindSpawnDone: "spawn-done",
+	KindStealReq:  "steal-req",
+	KindStealResp: "steal-resp",
+	KindData:      "data",
+	KindLifeline:  "lifeline",
+	KindShutdown:  "shutdown",
+}
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is one unit of inter-place communication.
+type Message struct {
+	Kind    Kind
+	From    int
+	To      int
+	Seq     uint64 // request/response correlation
+	Payload []byte
+}
+
+// ErrClosed is returned by Send after the endpoint has been closed.
+var ErrClosed = errors.New("comm: endpoint closed")
+
+// Endpoint is one place's attachment to the transport.
+type Endpoint interface {
+	// Place returns the place id this endpoint serves.
+	Place() int
+	// Send routes m (by m.To) to the destination endpoint. It blocks only
+	// if the destination inbox is full.
+	Send(m Message) error
+	// Inbox delivers messages addressed to this place. The channel closes
+	// when the endpoint is closed.
+	Inbox() <-chan Message
+	// Close detaches the endpoint and closes its inbox.
+	Close() error
+}
+
+// Mesh is an in-process transport connecting n places through buffered
+// channels. It is safe for concurrent use.
+type Mesh struct {
+	counters *metrics.Counters
+	mu       sync.Mutex
+	inboxes  []chan Message
+	closed   []bool
+}
+
+// NewMesh returns a mesh for places endpoints with per-inbox buffer size
+// buf. Counters may be nil to disable accounting.
+func NewMesh(places, buf int, counters *metrics.Counters) *Mesh {
+	if places <= 0 {
+		panic(fmt.Sprintf("comm: NewMesh places=%d", places))
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	m := &Mesh{
+		counters: counters,
+		inboxes:  make([]chan Message, places),
+		closed:   make([]bool, places),
+	}
+	for i := range m.inboxes {
+		m.inboxes[i] = make(chan Message, buf)
+	}
+	return m
+}
+
+// Endpoint returns place p's attachment.
+func (m *Mesh) Endpoint(p int) Endpoint {
+	if p < 0 || p >= len(m.inboxes) {
+		panic(fmt.Sprintf("comm: Endpoint(%d) of %d-place mesh", p, len(m.inboxes)))
+	}
+	return &meshEndpoint{mesh: m, place: p}
+}
+
+// Places returns the number of endpoints in the mesh.
+func (m *Mesh) Places() int { return len(m.inboxes) }
+
+func (m *Mesh) send(msg Message) (err error) {
+	if msg.To < 0 || msg.To >= len(m.inboxes) {
+		return fmt.Errorf("comm: send to invalid place %d", msg.To)
+	}
+	m.mu.Lock()
+	if m.closed[msg.To] || m.closed[msg.From] {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	inbox := m.inboxes[msg.To]
+	m.mu.Unlock()
+
+	if m.counters != nil && msg.From != msg.To {
+		m.counters.Messages.Add(1)
+		m.counters.BytesTransferred.Add(int64(len(msg.Payload)))
+	}
+	// The inbox may be closed concurrently by the receiver's Close; treat
+	// the resulting send-on-closed-channel panic as ErrClosed rather than
+	// crashing the sender.
+	defer func() {
+		if recover() != nil {
+			err = ErrClosed
+		}
+	}()
+	inbox <- msg
+	return nil
+}
+
+type meshEndpoint struct {
+	mesh  *Mesh
+	place int
+}
+
+func (e *meshEndpoint) Place() int { return e.place }
+
+func (e *meshEndpoint) Send(m Message) error {
+	m.From = e.place
+	return e.mesh.send(m)
+}
+
+func (e *meshEndpoint) Inbox() <-chan Message { return e.mesh.inboxes[e.place] }
+
+func (e *meshEndpoint) Close() error {
+	e.mesh.mu.Lock()
+	defer e.mesh.mu.Unlock()
+	if !e.mesh.closed[e.place] {
+		e.mesh.closed[e.place] = true
+		close(e.mesh.inboxes[e.place])
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"distws/internal/metrics"
+)
+
+// KindHello is the handshake message a spoke sends right after dialing the
+// hub; From carries the spoke's place id.
+const KindHello Kind = 200
+
+// tcpConn wraps a net.Conn with gob framing and a write lock.
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *tcpConn) write(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
+func (c *tcpConn) read() (Message, error) {
+	var m Message
+	err := c.dec.Decode(&m)
+	return m, err
+}
+
+// Hub is place 0's endpoint in a star-topology TCP transport. Spokes dial
+// the hub; the hub routes spoke-to-spoke traffic. Routing through the hub
+// doubles the hop count for spoke pairs, which the message counters record
+// faithfully.
+type Hub struct {
+	ln       net.Listener
+	places   int
+	counters *metrics.Counters
+
+	mu     sync.Mutex
+	conns  map[int]*tcpConn
+	closed bool
+
+	inbox chan Message
+	ready chan struct{} // closed once all spokes have joined
+}
+
+// ListenHub starts a hub for a cluster of places places (including the
+// hub itself) on addr. It returns immediately; Await blocks until all
+// places-1 spokes have completed the handshake.
+func ListenHub(addr string, places int, counters *metrics.Counters) (*Hub, error) {
+	if places < 1 {
+		return nil, fmt.Errorf("comm: ListenHub places=%d", places)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: hub listen: %w", err)
+	}
+	h := &Hub{
+		ln:       ln,
+		places:   places,
+		counters: counters,
+		conns:    make(map[int]*tcpConn),
+		inbox:    make(chan Message, 1024),
+		ready:    make(chan struct{}),
+	}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listening address (useful with ":0").
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Await blocks until every spoke has joined.
+func (h *Hub) Await() { <-h.ready }
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go h.handshake(newTCPConn(conn))
+	}
+}
+
+func (h *Hub) handshake(tc *tcpConn) {
+	hello, err := tc.read()
+	if err != nil || hello.Kind != KindHello {
+		tc.conn.Close()
+		return
+	}
+	h.mu.Lock()
+	if h.closed || hello.From <= 0 || hello.From >= h.places || h.conns[hello.From] != nil {
+		h.mu.Unlock()
+		tc.conn.Close()
+		return
+	}
+	h.conns[hello.From] = tc
+	joined := len(h.conns)
+	h.mu.Unlock()
+	if joined == h.places-1 {
+		close(h.ready)
+	}
+	h.readLoop(hello.From, tc)
+}
+
+func (h *Hub) readLoop(from int, tc *tcpConn) {
+	for {
+		m, err := tc.read()
+		if err != nil {
+			return
+		}
+		if m.To == 0 {
+			h.deliverLocal(m)
+			continue
+		}
+		// Spoke-to-spoke traffic transits the hub: forward and count the
+		// second hop.
+		if err := h.route(m); err != nil {
+			continue
+		}
+	}
+}
+
+func (h *Hub) deliverLocal(m Message) {
+	defer func() { recover() }() // inbox may close under us
+	h.inbox <- m
+}
+
+func (h *Hub) route(m Message) error {
+	h.mu.Lock()
+	tc := h.conns[m.To]
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if tc == nil {
+		return fmt.Errorf("comm: no route to place %d", m.To)
+	}
+	if h.counters != nil {
+		h.counters.Messages.Add(1)
+		h.counters.BytesTransferred.Add(int64(len(m.Payload)))
+	}
+	return tc.write(m)
+}
+
+// Place implements Endpoint: the hub is always place 0.
+func (h *Hub) Place() int { return 0 }
+
+// Send implements Endpoint.
+func (h *Hub) Send(m Message) error {
+	m.From = 0
+	if m.To == 0 {
+		h.deliverLocal(m)
+		return nil
+	}
+	return h.route(m)
+}
+
+// Inbox implements Endpoint.
+func (h *Hub) Inbox() <-chan Message { return h.inbox }
+
+// Close shuts the hub down, closing every spoke connection.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := h.conns
+	h.conns = map[int]*tcpConn{}
+	h.mu.Unlock()
+	h.ln.Close()
+	for _, tc := range conns {
+		tc.conn.Close()
+	}
+	close(h.inbox)
+	return nil
+}
+
+// Spoke is a non-hub place's endpoint in the star transport.
+type Spoke struct {
+	place    int
+	tc       *tcpConn
+	counters *metrics.Counters
+	inbox    chan Message
+	once     sync.Once
+}
+
+// DialSpoke connects place (must be > 0) to the hub at addr.
+func DialSpoke(addr string, place int, counters *metrics.Counters) (*Spoke, error) {
+	if place <= 0 {
+		return nil, fmt.Errorf("comm: DialSpoke place=%d, want > 0", place)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dialing hub %s: %w", addr, err)
+	}
+	s := &Spoke{
+		place:    place,
+		tc:       newTCPConn(conn),
+		counters: counters,
+		inbox:    make(chan Message, 1024),
+	}
+	if err := s.tc.write(Message{Kind: KindHello, From: place}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("comm: hello to hub: %w", err)
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+func (s *Spoke) readLoop() {
+	defer s.closeInbox()
+	for {
+		m, err := s.tc.read()
+		if err != nil {
+			return
+		}
+		s.inbox <- m
+	}
+}
+
+func (s *Spoke) closeInbox() {
+	s.once.Do(func() { close(s.inbox) })
+}
+
+// Place implements Endpoint.
+func (s *Spoke) Place() int { return s.place }
+
+// Send implements Endpoint. All traffic goes via the hub.
+func (s *Spoke) Send(m Message) error {
+	m.From = s.place
+	if s.counters != nil {
+		s.counters.Messages.Add(1)
+		s.counters.BytesTransferred.Add(int64(len(m.Payload)))
+	}
+	if err := s.tc.write(m); err != nil {
+		return fmt.Errorf("comm: spoke %d send: %w", s.place, err)
+	}
+	return nil
+}
+
+// Inbox implements Endpoint.
+func (s *Spoke) Inbox() <-chan Message { return s.inbox }
+
+// Close implements Endpoint.
+func (s *Spoke) Close() error {
+	return s.tc.conn.Close() // readLoop will close the inbox
+}
+
+var (
+	_ Endpoint = (*Hub)(nil)
+	_ Endpoint = (*Spoke)(nil)
+)

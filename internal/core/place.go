@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"distws/internal/cachesim"
+	"distws/internal/deque"
+	"distws/internal/sched"
+	"distws/internal/task"
+)
+
+// activity is one schedulable unit of work — the X10 async.
+type activity struct {
+	body func(*Ctx)
+	loc  task.Locality
+	home int // programmer-specified place
+	fin  *finish
+}
+
+// place mirrors the paper's Fig. 2: several workers with private deques
+// plus one shared deque for locality-flexible tasks, and the place-local
+// status object of §VI-B.
+type place struct {
+	id int
+	rt *Runtime
+
+	workers []*worker
+	shared  deque.Shared[*activity]
+
+	running  atomic.Int32  // activities currently executing here
+	queued   atomic.Int32  // activities queued here (private + shared)
+	spawnSeq atomic.Uint64 // per-place spawn counter (DistWS-NS round robin)
+
+	// active is the §VI-B place status bit: set when an activity is
+	// assigned, cleared after n successive failed steal sweeps.
+	active       atomic.Bool
+	failedSweeps atomic.Int32
+
+	// lifelineWaiters holds place ids registered on this place's incoming
+	// lifelines (LifelineWS only); a bit set per place.
+	lifelineWaiters []atomic.Bool
+
+	rrWorker atomic.Uint32 // round-robin target for externally spawned tasks
+	wake     chan struct{}
+}
+
+func newPlace(rt *Runtime, id int) *place {
+	p := &place{
+		id:              id,
+		rt:              rt,
+		lifelineWaiters: make([]atomic.Bool, rt.cfg.Cluster.Places),
+		wake:            make(chan struct{}, rt.cfg.Cluster.WorkersPerPlace),
+	}
+	p.workers = make([]*worker, rt.cfg.Cluster.WorkersPerPlace)
+	for i := range p.workers {
+		w := &worker{
+			place: p,
+			local: i,
+			rng:   rand.New(rand.NewSource(rt.cfg.Seed + int64(id*1000+i))),
+		}
+		if rt.cfg.LockFreeDeques {
+			w.priv = deque.NewChaseLev[*activity]()
+		} else {
+			w.priv = &deque.Private[*activity]{}
+		}
+		if rt.cfg.CacheBlocks > 0 {
+			w.cache = cachesim.New(rt.cfg.CacheBlocks)
+		}
+		p.workers[i] = w
+	}
+	return p
+}
+
+func (p *place) startWorkers() {
+	for _, w := range p.workers {
+		p.rt.workerWG.Add(1)
+		go w.loop()
+	}
+}
+
+// load captures the Algorithm-1 inputs for task mapping.
+func (p *place) load() sched.PlaceLoad {
+	running := int(p.running.Load())
+	return sched.PlaceLoad{
+		Active:     p.active.Load(),
+		Spares:     p.rt.cfg.Cluster.WorkersPerPlace - running,
+		Size:       running + int(p.queued.Load()),
+		MaxThreads: p.rt.cfg.MaxThreads,
+	}
+}
+
+func (p *place) nextSeq() uint64 { return p.spawnSeq.Add(1) }
+
+// enqueue places a freshly mapped activity in the chosen deque flavour and
+// wakes idle workers. Assigning work (re)activates the place (§VI-B).
+// spawner, when non-nil and co-located, receives private-target tasks in
+// its own deque (X10 help-first: spawned work stays with the spawner until
+// stolen).
+func (p *place) enqueue(a *activity, target sched.Target, spawner *worker) {
+	p.queued.Add(1)
+	p.active.Store(true)
+	p.failedSweeps.Store(0)
+	if target == sched.TargetShared {
+		p.shared.Push(a)
+		p.serveLifelines()
+	} else {
+		w := spawner
+		if w == nil || w.place != p {
+			w = p.workers[int(p.rrWorker.Add(1))%len(p.workers)]
+		}
+		w.priv.Push(a)
+	}
+	p.wakeAll()
+}
+
+// enqueueStolen inserts tasks obtained by a distributed steal into this
+// (thief) place's shared deque so co-located workers can pick them up
+// without their own distributed steal (§V-B3).
+func (p *place) enqueueStolen(chunk []*activity) {
+	for _, a := range chunk {
+		p.queued.Add(1)
+		p.shared.Push(a)
+	}
+	p.active.Store(true)
+	p.failedSweeps.Store(0)
+	p.wakeAll()
+}
+
+// wakeAll nudges every idle worker at the place.
+func (p *place) wakeAll() {
+	for i := 0; i < cap(p.wake); i++ {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// serveLifelines pushes surplus shared-deque work to places that have
+// registered on this place's lifelines (LifelineWS only).
+func (p *place) serveLifelines() {
+	if p.rt.cfg.Policy != sched.LifelineWS {
+		return
+	}
+	for q := range p.lifelineWaiters {
+		if p.shared.Len() <= 1 {
+			return
+		}
+		if !p.lifelineWaiters[q].Swap(false) {
+			continue
+		}
+		if a, ok := p.shared.Poll(); ok {
+			p.queued.Add(-1)
+			p.rt.counters.Messages.Add(1)
+			p.rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
+			p.rt.counters.RemoteSteals.Add(1) // lifeline push counts as a balanced transfer
+			p.rt.places[q].enqueueStolen([]*activity{a})
+		}
+	}
+}
+
+// noteFailedSweep records one fully failed work-finding sweep; after n
+// consecutive failures (n = workers per place) the place marks itself
+// inactive (§VI-B).
+func (p *place) noteFailedSweep() {
+	n := p.failedSweeps.Add(1)
+	if int(n) >= sched.FailedStealQuiesceThreshold(p.rt.cfg.Cluster.WorkersPerPlace) {
+		p.active.Store(false)
+	}
+}
+
+// workerDeque is the private-deque discipline a worker schedules from:
+// owner LIFO push/pop plus a FIFO-end steal for co-located thieves. Two
+// implementations ship: the mutex-guarded deque.Private (default, the
+// observable-lock design the paper reasons about) and the lock-free
+// deque.ChaseLev (Config.LockFreeDeques), which bounds the interruption
+// a steal inflicts on the victim (§V).
+type workerDeque interface {
+	Push(*activity)
+	Pop() (*activity, bool)
+	Steal() (*activity, bool)
+	Len() int
+}
+
+// worker is one scheduling thread within a place.
+type worker struct {
+	place *place
+	local int // index within the place
+	priv  workerDeque
+	cache *cachesim.Cache
+	rng   *rand.Rand
+}
+
+// loop is Algorithm 1 lines 9–29.
+func (w *worker) loop() {
+	rt := w.place.rt
+	defer rt.workerWG.Done()
+	for !rt.shutdown.Load() {
+		a, how := w.findWork()
+		if a == nil {
+			w.place.noteFailedSweep()
+			rt.counters.FailedSteals.Add(1)
+			if rt.cfg.Policy == sched.LifelineWS {
+				w.registerLifelines()
+			}
+			select {
+			case <-w.place.wake:
+			case <-time.After(rt.cfg.IdlePoll):
+			}
+			continue
+		}
+		w.run(a, how)
+	}
+}
+
+// stealKind says how a task was obtained, for accounting.
+type stealKind uint8
+
+const (
+	tookOwn stealKind = iota
+	tookLocalSteal
+	tookSharedLocal
+	tookRemote
+)
+
+// findWork performs one sweep of the Algorithm-1 work-finding order.
+func (w *worker) findWork() (*activity, stealKind) {
+	p := w.place
+	// 1. Own private deque (line 9).
+	if a, ok := w.priv.Pop(); ok {
+		p.queued.Add(-1)
+		return a, tookOwn
+	}
+	// 2. Steal from co-located workers' private deques (line 12).
+	for off := 1; off < len(p.workers); off++ {
+		peer := p.workers[(w.local+off)%len(p.workers)]
+		if a, ok := peer.priv.Steal(); ok {
+			p.queued.Add(-1)
+			return a, tookLocalSteal
+		}
+	}
+	// 3. Local shared deque (line 13).
+	if a, ok := p.shared.Poll(); ok {
+		p.queued.Add(-1)
+		return a, tookSharedLocal
+	}
+	// 4. Distributed steal (lines 14–29), policy permitting.
+	if sched.RemoteStealing(w.place.rt.cfg.Policy) {
+		if a := w.stealRemote(); a != nil {
+			return a, tookRemote
+		}
+	}
+	return nil, tookOwn
+}
+
+// stealRemote sweeps remote places' shared deques in randomized order,
+// taking a chunk from the first victim with surplus. The first task is
+// returned for execution; the remainder go to the thief place's shared
+// deque. Every probe is a request/reply message pair.
+func (w *worker) stealRemote() *activity {
+	rt := w.place.rt
+	chunkSize := sched.RemoteChunk(rt.cfg.Policy)
+	for _, v := range sched.VictimOrder(rt.cfg.Policy, w.place.id, len(rt.places), w.rng) {
+		victim := rt.places[v]
+		rt.counters.RemoteProbes.Add(1)
+		rt.counters.Messages.Add(2) // steal-req + steal-resp
+		chunk := victim.shared.StealChunk(chunkSize)
+		if chunk == nil {
+			continue
+		}
+		victim.queued.Add(-int32(len(chunk)))
+		rt.counters.RemoteSteals.Add(int64(len(chunk)))
+		var bytes int64
+		for _, a := range chunk {
+			bytes += int64(a.loc.MigrationBytes)
+		}
+		rt.counters.BytesTransferred.Add(bytes)
+		first := chunk[0]
+		if len(chunk) > 1 {
+			w.place.enqueueStolen(chunk[1:])
+		}
+		return first
+	}
+	return nil
+}
+
+// registerLifelines marks this place on its hypercube lifeline neighbours
+// (LifelineWS) so they push surplus work here.
+func (w *worker) registerLifelines() {
+	rt := w.place.rt
+	for _, q := range sched.Lifelines(w.place.id, len(rt.places)) {
+		neighbour := rt.places[q]
+		if !neighbour.lifelineWaiters[w.place.id].Swap(true) {
+			rt.counters.Messages.Add(1) // lifeline registration message
+		}
+		neighbour.serveLifelines()
+	}
+}
+
+// run executes one activity and performs all the paper's accounting: busy
+// time for Fig. 7, migration/cache effects for Tables II–III.
+func (w *worker) run(a *activity, how stealKind) {
+	rt := w.place.rt
+	p := w.place
+	p.running.Add(1)
+	p.active.Store(true)
+	p.failedSweeps.Store(0)
+
+	// Only genuine steals count (Fig. 3): taking a task from a co-located
+	// worker's private deque. Polling the own place's shared deque is the
+	// designated dequeue path for flexible tasks, not a steal.
+	if how == tookLocalSteal {
+		rt.counters.LocalSteals.Add(1)
+	}
+	migrated := p.id != a.home
+	if migrated {
+		rt.counters.TasksMigrated.Add(1)
+		// Remote data references the task performs when run off-home.
+		if a.loc.RemoteRefs > 0 {
+			rt.counters.RemoteDataAccess.Add(int64(a.loc.RemoteRefs))
+			rt.counters.Messages.Add(int64(a.loc.RemoteRefs))
+		}
+	}
+	if w.cache != nil && len(a.loc.Blocks) > 0 {
+		hits, misses := w.cache.TouchAll(a.loc.Blocks)
+		rt.counters.CacheRefs.Add(int64(hits + misses))
+		rt.counters.CacheMisses.Add(int64(misses))
+	}
+
+	start := time.Now()
+	ctx := &Ctx{rt: rt, placeID: p.id, worker: w, fin: a.fin}
+	func() {
+		defer a.fin.done()
+		defer func() {
+			if v := recover(); v != nil {
+				a.fin.fail(v)
+			}
+		}()
+		a.body(ctx)
+	}()
+	rt.util.AddBusy(p.id, time.Since(start).Nanoseconds())
+	rt.counters.TasksExecuted.Add(1)
+	p.running.Add(-1)
+}

@@ -1,0 +1,174 @@
+// Package core implements the DistWS runtime: an APGAS (asynchronous
+// partitioned global address space) execution model in the style of X10,
+// with places, asyncs, finish, and the paper's selective locality-aware
+// distributed work-stealing scheduler.
+//
+// A Runtime hosts P places, each with W worker goroutines. Every worker
+// owns a private LIFO deque for locality-sensitive tasks; every place owns
+// one shared FIFO deque for locality-flexible tasks (paper Fig. 2). The
+// worker loop follows Algorithm 1: poll the private deque, steal from
+// co-located workers, poll the local shared deque, and — policy
+// permitting — steal chunks from remote places' shared deques.
+//
+// The package is wrapped by the public distws facade at the module root;
+// see that package for usage examples.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distws/internal/metrics"
+	"distws/internal/sched"
+	"distws/internal/task"
+	"distws/internal/topology"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Cluster describes places and workers per place. Defaults to
+	// topology.Laptop() when zero.
+	Cluster topology.Cluster
+	// Policy selects the scheduling algorithm. Default DistWS.
+	Policy sched.Kind
+	// MaxThreads is the per-place activity ceiling used by the
+	// under-utilization test of Algorithm 1. Defaults to WorkersPerPlace.
+	MaxThreads int
+	// Seed makes victim selection deterministic for tests. Zero picks 1.
+	Seed int64
+	// CacheBlocks sets the per-worker modelled L1d capacity in blocks; 0
+	// disables cache modelling.
+	CacheBlocks int
+	// IdlePoll is how long an idle worker sleeps between failed
+	// work-finding sweeps. Defaults to 200µs.
+	IdlePoll time.Duration
+	// LockFreeDeques selects Chase–Lev lock-free private deques instead
+	// of the default mutex-guarded ones.
+	LockFreeDeques bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cluster.Places == 0 && c.Cluster.WorkersPerPlace == 0 {
+		c.Cluster = topology.Laptop()
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = c.Cluster.WorkersPerPlace
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.IdlePoll <= 0 {
+		c.IdlePoll = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Runtime is a running APGAS instance. Create with New, release with
+// Shutdown.
+type Runtime struct {
+	cfg      Config
+	places   []*place
+	counters metrics.Counters
+	util     *metrics.Utilization
+
+	shutdown atomic.Bool
+	workerWG sync.WaitGroup
+
+	started time.Time
+}
+
+// New starts a runtime: all worker goroutines are live on return.
+func New(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if !sched.Valid(cfg.Policy) {
+		return nil, fmt.Errorf("core: invalid policy %v", cfg.Policy)
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		util:    metrics.NewUtilization(cfg.Cluster.Places),
+		started: time.Now(),
+	}
+	rt.places = make([]*place, cfg.Cluster.Places)
+	for p := range rt.places {
+		rt.places[p] = newPlace(rt, p)
+	}
+	for _, p := range rt.places {
+		p.startWorkers()
+	}
+	return rt, nil
+}
+
+// Places returns the number of places.
+func (rt *Runtime) Places() int { return len(rt.places) }
+
+// WorkersPerPlace returns the per-place worker count.
+func (rt *Runtime) WorkersPerPlace() int { return rt.cfg.Cluster.WorkersPerPlace }
+
+// Policy returns the active scheduling policy.
+func (rt *Runtime) Policy() sched.Kind { return rt.cfg.Policy }
+
+// Metrics returns a snapshot of the run's counters.
+func (rt *Runtime) Metrics() metrics.Snapshot { return rt.counters.Snapshot() }
+
+// Utilization returns per-place busy fractions since New, in percent.
+func (rt *Runtime) Utilization() []float64 {
+	elapsed := time.Since(rt.started).Nanoseconds()
+	return rt.util.Fractions(elapsed, rt.cfg.Cluster.WorkersPerPlace)
+}
+
+// Shutdown stops all workers and waits for them to exit. Pending tasks are
+// abandoned; call only after Run has returned. Idempotent.
+func (rt *Runtime) Shutdown() {
+	if rt.shutdown.Swap(true) {
+		return
+	}
+	for _, p := range rt.places {
+		p.wakeAll()
+	}
+	rt.workerWG.Wait()
+}
+
+// Run executes body as the root activity at place 0 and blocks until body
+// and everything it transitively spawned have finished (an implicit
+// top-level X10 finish).
+func (rt *Runtime) Run(body func(*Ctx)) error {
+	if rt.shutdown.Load() {
+		return fmt.Errorf("core: Run on a shut-down runtime")
+	}
+	fin := newFinish(nil)
+	fin.add(1)
+	rt.spawn(&activity{
+		body: body,
+		loc:  task.SensitiveLocality,
+		home: 0,
+		fin:  fin,
+	}, -1, nil)
+	fin.waitExternal()
+	if v := fin.firstErr(); v != nil {
+		return fmt.Errorf("core: activity panicked: %v", v)
+	}
+	return nil
+}
+
+// spawn enqueues a (per Algorithm 1 lines 1–8). from is the spawning place
+// (-1 when spawned from outside the runtime) and spawner the spawning
+// worker (nil outside the pool); a cross-place spawn is accounted as one
+// message carrying the task payload.
+func (rt *Runtime) spawn(a *activity, from int, spawner *worker) {
+	rt.counters.TasksSpawned.Add(1)
+	home := rt.places[a.home]
+	if from >= 0 && from != a.home {
+		rt.counters.Messages.Add(1)
+		rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
+	}
+	target := sched.MapTask(rt.cfg.Policy, a.loc.Class, home.load(), home.nextSeq())
+	home.enqueue(a, target, spawner)
+}
+
+// placeLoad exposes load introspection to white-box tests.
+func (rt *Runtime) placeLoad(p int) sched.PlaceLoad { return rt.places[p].load() }

@@ -1,0 +1,108 @@
+package deque
+
+import "sync/atomic"
+
+// ChaseLev is a lock-free work-stealing deque in the style of Chase and
+// Lev (SPAA 2005): the owner pushes and pops at the bottom without locks,
+// thieves steal from the top with a single CAS. It is the classic
+// alternative to the mutex-guarded Private deque — the paper (§V)
+// discusses exactly this trade-off: software steal operations interrupt
+// the victim, and lock-free deques bound that interruption.
+//
+// Semantics match Private: owner Push/Pop are LIFO; Steal takes the
+// oldest element. Push and Pop must be called by a single owner
+// goroutine; Steal may be called concurrently by any number of thieves.
+type ChaseLev[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[clBuf[T]]
+}
+
+type clBuf[T any] struct {
+	items []atomic.Pointer[T]
+	mask  int64
+}
+
+func newCLBuf[T any](capacity int64) *clBuf[T] {
+	return &clBuf[T]{items: make([]atomic.Pointer[T], capacity), mask: capacity - 1}
+}
+
+func (b *clBuf[T]) load(i int64) *T     { return b.items[i&b.mask].Load() }
+func (b *clBuf[T]) store(i int64, v *T) { b.items[i&b.mask].Store(v) }
+
+// NewChaseLev returns an empty deque with a small initial capacity.
+func NewChaseLev[T any]() *ChaseLev[T] {
+	d := &ChaseLev[T]{}
+	d.buf.Store(newCLBuf[T](8))
+	return d
+}
+
+// Push appends v at the bottom (owner only).
+func (d *ChaseLev[T]) Push(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.items)) {
+		// Grow: copy live elements into a buffer twice the size. Thieves
+		// may still read the old buffer; both hold the same pointers.
+		nb := newCLBuf[T](int64(len(buf.items)) * 2)
+		for i := t; i < b; i++ {
+			nb.store(i, buf.load(i))
+		}
+		d.buf.Store(nb)
+		buf = nb
+	}
+	buf.store(b, &v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes the most recently pushed element (owner only, LIFO).
+func (d *ChaseLev[T]) Pop() (T, bool) {
+	var zero T
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return zero, false
+	}
+	vp := buf.load(b)
+	if t != b {
+		return *vp, true
+	}
+	// Last element: race against thieves for it.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return zero, false
+	}
+	return *vp, true
+}
+
+// Steal removes the oldest element (any goroutine, FIFO end). It returns
+// false when the deque is empty or the steal lost a race.
+func (d *ChaseLev[T]) Steal() (T, bool) {
+	var zero T
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, false
+	}
+	buf := d.buf.Load()
+	vp := buf.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, false // lost to the owner or another thief; caller retries
+	}
+	return *vp, true
+}
+
+// Len returns an instantaneous (racy) size estimate.
+func (d *ChaseLev[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,211 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChaseLevLIFOOwner(t *testing.T) {
+	d := NewChaseLev[int]()
+	for i := 1; i <= 3; i++ {
+		d.Push(i)
+	}
+	for want := 3; want >= 1; want-- {
+		v, ok := d.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop() = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatalf("Pop() on empty deque should report false")
+	}
+}
+
+func TestChaseLevStealOldest(t *testing.T) {
+	d := NewChaseLev[string]()
+	d.Push("oldest")
+	d.Push("newest")
+	if v, ok := d.Steal(); !ok || v != "oldest" {
+		t.Fatalf("Steal() = %q,%v, want oldest,true", v, ok)
+	}
+	if v, ok := d.Pop(); !ok || v != "newest" {
+		t.Fatalf("Pop() = %q,%v, want newest,true", v, ok)
+	}
+}
+
+func TestChaseLevStealEmpty(t *testing.T) {
+	d := NewChaseLev[int]()
+	if _, ok := d.Steal(); ok {
+		t.Fatalf("Steal() on empty deque should report false")
+	}
+}
+
+func TestChaseLevGrowth(t *testing.T) {
+	d := NewChaseLev[int]()
+	const n = 1000 // forces several buffer doublings
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for want := n - 1; want >= 0; want-- {
+		v, ok := d.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop() = %d,%v, want %d", v, ok, want)
+		}
+	}
+}
+
+func TestChaseLevInterleavedGrowthAndSteal(t *testing.T) {
+	d := NewChaseLev[int]()
+	for i := 0; i < 6; i++ {
+		d.Push(i)
+	}
+	d.Steal() // 0
+	d.Steal() // 1
+	for i := 6; i < 40; i++ {
+		d.Push(i) // grows with top > 0
+	}
+	seen := map[int]bool{}
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("element %d stolen twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 38 {
+		t.Fatalf("stole %d elements, want 38", len(seen))
+	}
+}
+
+// Property: sequential mixed Pop/Steal never loses or duplicates
+// elements (conservation).
+func TestChaseLevConservationProperty(t *testing.T) {
+	f := func(xs []uint8, stealMask []bool) bool {
+		d := NewChaseLev[uint8]()
+		counts := map[uint8]int{}
+		for _, x := range xs {
+			d.Push(x)
+			counts[x]++
+		}
+		for i := 0; i < len(xs); i++ {
+			var v uint8
+			var ok bool
+			if i < len(stealMask) && stealMask[i] {
+				v, ok = d.Steal()
+			} else {
+				v, ok = d.Pop()
+			}
+			if !ok {
+				return false // sequentially, nothing can be lost
+			}
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return d.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The critical concurrent property: one owner pushing/popping against
+// many thieves — every element consumed exactly once.
+func TestChaseLevConcurrentOwnerAndThieves(t *testing.T) {
+	d := NewChaseLev[int]()
+	const n = 20000
+	var consumed sync.Map
+	var total atomic.Int64
+	record := func(v int) {
+		if _, dup := consumed.LoadOrStore(v, true); dup {
+			t.Errorf("element %d consumed twice", v)
+		}
+		total.Add(1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain whatever remains visible.
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	// Owner: push all, interleaving pops.
+	for i := 0; i < n; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	// A Pop that loses its CAS race leaves the element to the winning
+	// thief, and vice versa, so after both sides drain everything is
+	// consumed exactly once.
+	if got := total.Load(); got != n {
+		t.Fatalf("consumed %d of %d elements", got, n)
+	}
+}
+
+func BenchmarkChaseLevPushPop(b *testing.B) {
+	d := NewChaseLev[int]()
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Pop()
+	}
+}
+
+func BenchmarkMutexVsChaseLevUncontended(b *testing.B) {
+	b.Run("mutex", func(b *testing.B) {
+		var d Private[int]
+		for i := 0; i < b.N; i++ {
+			d.Push(i)
+			d.Pop()
+		}
+	})
+	b.Run("chaselev", func(b *testing.B) {
+		d := NewChaseLev[int]()
+		for i := 0; i < b.N; i++ {
+			d.Push(i)
+			d.Pop()
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package deque implements the two queue flavours the DistWS scheduler is
+// built on (paper §V-A, Fig. 2):
+//
+//   - Private: one per worker. The owning worker pushes and pops at the
+//     bottom (LIFO, maximizing cache reuse of the most recently spawned
+//     task); co-located thieves steal the oldest task from the top.
+//   - Shared: one per place. Strict FIFO so that any steal — local or
+//     remote — receives the oldest task in the deque, which potentially
+//     roots the largest remaining subtree of work. Supports chunked steals
+//     (the paper uses chunks of 2 for distributed stealing).
+//
+// Both types are safe for concurrent use. Synchronization is a per-deque
+// mutex: the private deque's mutex is virtually uncontended (only its owner
+// and the occasional co-located thief touch it), and the shared deque's
+// mutex is exactly the lock the paper describes remote thieves contending
+// on. Keeping that lock observable, rather than hiding it behind a
+// lock-free structure, preserves the contention behaviour the paper's
+// design is reacting to.
+package deque
+
+import "sync"
+
+// ring is a growable circular buffer. Not safe for concurrent use; callers
+// hold their own lock.
+type ring[T any] struct {
+	buf  []T
+	head int // index of oldest element
+	n    int // number of elements
+}
+
+func (r *ring[T]) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = buf, 0
+}
+
+func (r *ring[T]) pushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring[T]) popBack() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	i := (r.head + r.n - 1) % len(r.buf)
+	v := r.buf[i]
+	r.buf[i] = zero // release reference for GC
+	r.n--
+	return v, true
+}
+
+func (r *ring[T]) popFront() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// Private is a per-worker double-ended queue. The owner uses Push/Pop
+// (LIFO); thieves use Steal (FIFO end). The zero value is ready to use.
+type Private[T any] struct {
+	mu sync.Mutex
+	r  ring[T]
+}
+
+// Push appends v at the bottom of the deque (owner operation).
+func (d *Private[T]) Push(v T) {
+	d.mu.Lock()
+	d.r.pushBack(v)
+	d.mu.Unlock()
+}
+
+// Pop removes and returns the most recently pushed element (owner
+// operation, LIFO). The second result is false when the deque is empty.
+func (d *Private[T]) Pop() (T, bool) {
+	d.mu.Lock()
+	v, ok := d.r.popBack()
+	d.mu.Unlock()
+	return v, ok
+}
+
+// Steal removes and returns the oldest element (thief operation, FIFO
+// end). The second result is false when the deque is empty.
+func (d *Private[T]) Steal() (T, bool) {
+	d.mu.Lock()
+	v, ok := d.r.popFront()
+	d.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the current number of queued elements.
+func (d *Private[T]) Len() int {
+	d.mu.Lock()
+	n := d.r.n
+	d.mu.Unlock()
+	return n
+}
+
+// Shared is a per-place FIFO deque holding locality-flexible tasks. Every
+// consumer — the place's own workers and remote thieves — receives the
+// oldest task. The zero value is ready to use.
+type Shared[T any] struct {
+	mu sync.Mutex
+	r  ring[T]
+}
+
+// Push appends v at the tail.
+func (d *Shared[T]) Push(v T) {
+	d.mu.Lock()
+	d.r.pushBack(v)
+	d.mu.Unlock()
+}
+
+// Poll removes and returns the oldest element. The second result is false
+// when the deque is empty.
+func (d *Shared[T]) Poll() (T, bool) {
+	d.mu.Lock()
+	v, ok := d.r.popFront()
+	d.mu.Unlock()
+	return v, ok
+}
+
+// StealChunk removes and returns up to k oldest elements in one critical
+// section, implementing the paper's chunked distributed steal (§V-B3,
+// chunk size 2). It returns nil when the deque is empty or k <= 0.
+func (d *Shared[T]) StealChunk(k int) []T {
+	if k <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.r.n == 0 {
+		return nil
+	}
+	if k > d.r.n {
+		k = d.r.n
+	}
+	out := make([]T, 0, k)
+	for i := 0; i < k; i++ {
+		v, _ := d.r.popFront()
+		out = append(out, v)
+	}
+	return out
+}
+
+// Len returns the current number of queued elements.
+func (d *Shared[T]) Len() int {
+	d.mu.Lock()
+	n := d.r.n
+	d.mu.Unlock()
+	return n
+}

@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceLocalHandle(t *testing.T) {
+	h := NewPlaceLocalHandle(4, func(p int) int { return p * 10 })
+	for p := 0; p < 4; p++ {
+		if got := h.At(p); got != p*10 {
+			t.Fatalf("At(%d) = %d, want %d", p, got, p*10)
+		}
+	}
+	h.Set(2, 99)
+	if h.At(2) != 99 {
+		t.Fatalf("Set did not stick")
+	}
+	if h.Places() != 4 {
+		t.Fatalf("Places() = %d", h.Places())
+	}
+}
+
+func TestPlaceLocalHandlePanics(t *testing.T) {
+	h := NewPlaceLocalHandle(2, func(int) int { return 0 })
+	assertPanics(t, func() { h.At(2) })
+	assertPanics(t, func() { h.At(-1) })
+	assertPanics(t, func() { h.Set(5, 1) })
+	assertPanics(t, func() { NewPlaceLocalHandle(0, func(int) int { return 0 }) })
+}
+
+func TestDistArrayBlockDistribution(t *testing.T) {
+	d := NewDistArray(100, 4, func(i int) int { return i })
+	// 100 over 4 places: 25 each.
+	for p := 0; p < 4; p++ {
+		lo, hi := d.Range(p)
+		if hi-lo != 25 {
+			t.Fatalf("place %d owns %d elements, want 25", p, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			if d.PlaceOf(i) != p {
+				t.Fatalf("PlaceOf(%d) = %d, want %d", i, d.PlaceOf(i), p)
+			}
+		}
+	}
+}
+
+func TestDistArrayUnevenDistribution(t *testing.T) {
+	d := NewDistArray[int](10, 3, nil)
+	total := 0
+	for p := 0; p < 3; p++ {
+		lo, hi := d.Range(p)
+		if hi < lo {
+			t.Fatalf("place %d has negative range [%d,%d)", p, lo, hi)
+		}
+		total += hi - lo
+	}
+	if total != 10 {
+		t.Fatalf("ranges cover %d elements, want 10", total)
+	}
+}
+
+func TestDistArrayGetSetLocal(t *testing.T) {
+	d := NewDistArray(8, 2, func(i int) string { return "" })
+	d.Set(5, "x")
+	if d.Get(5) != "x" {
+		t.Fatalf("Get after Set failed")
+	}
+	local := d.Local(1)
+	if len(local) != 4 {
+		t.Fatalf("Local(1) has %d elements, want 4", len(local))
+	}
+	local[1] = "y" // index 5 globally
+	if d.Get(5) != "y" {
+		t.Fatalf("Local must share storage with the array")
+	}
+}
+
+func TestDistArrayPanics(t *testing.T) {
+	d := NewDistArray[int](4, 2, nil)
+	assertPanics(t, func() { d.Get(4) })
+	assertPanics(t, func() { d.Set(-1, 0) })
+	assertPanics(t, func() { d.Range(2) })
+	assertPanics(t, func() { NewDistArray[int](-1, 2, nil) })
+	assertPanics(t, func() { NewDistArray[int](4, 0, nil) })
+}
+
+// Property: every index belongs to exactly the place whose Range contains
+// it, and ranges partition [0, n).
+func TestDistArrayPartitionProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		places := int(pRaw)%16 + 1
+		d := NewDistArray[int](n, places, nil)
+		covered := 0
+		for p := 0; p < places; p++ {
+			lo, hi := d.Range(p)
+			covered += hi - lo
+			for i := lo; i < hi; i++ {
+				if d.PlaceOf(i) != p {
+					return false
+				}
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: block sizes differ by at most one element.
+func TestDistArrayBalanceProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		places := int(pRaw)%16 + 1
+		d := NewDistArray[int](n, places, nil)
+		minSz, maxSz := n, 0
+		for p := 0; p < places; p++ {
+			lo, hi := d.Range(p)
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	f()
+}

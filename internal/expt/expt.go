@@ -1,0 +1,558 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"distws/internal/apps"
+	"distws/internal/apps/suite"
+	"distws/internal/metrics"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+	"distws/internal/trace"
+)
+
+// Runner executes experiments against a fixed application suite and
+// cluster, caching generated traces. Safe for sequential use; the cache
+// is guarded for convenience.
+type Runner struct {
+	Seed    int64
+	Cluster topology.Cluster
+	Apps    []apps.App
+
+	mu    sync.Mutex
+	cache map[string]*trace.Graph
+}
+
+// New returns a Runner over the paper suite at the given scale with the
+// paper's 16×8 cluster.
+func New(scale suite.Scale, seed int64) *Runner {
+	return &Runner{
+		Seed:    seed,
+		Cluster: topology.Paper(),
+		Apps:    suite.Paper(scale, seed),
+		cache:   make(map[string]*trace.Graph),
+	}
+}
+
+// Trace returns (and caches) app's task graph for a cluster with places
+// places.
+func (r *Runner) Trace(a apps.App, places int) (*trace.Graph, error) {
+	key := fmt.Sprintf("%s/%d", a.Name(), places)
+	r.mu.Lock()
+	g, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	g, err := a.Trace(places)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[key] = g
+	r.mu.Unlock()
+	return g, nil
+}
+
+func (r *Runner) simulate(a apps.App, places int, policy sched.Kind) (*sim.Result, error) {
+	g, err := r.Trace(a, places)
+	if err != nil {
+		return nil, fmt.Errorf("expt: trace %s: %w", a.Name(), err)
+	}
+	cl := r.Cluster.WithPlaces(places)
+	res, err := sim.Run(g, cl, policy, sim.Options{Seed: r.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("expt: sim %s/%v: %w", a.Name(), policy, err)
+	}
+	return res, nil
+}
+
+// --------------------------------------------------------------------
+// Fig. 3 — steals-to-task ratio.
+
+// Fig3Row is one bar of Fig. 3.
+type Fig3Row struct {
+	App    string
+	Steals int64
+	Tasks  int64
+	Ratio  float64
+}
+
+// Fig3 runs every app under DistWS on the full cluster and reports the
+// steals-to-task ratio (paper: between 1e-4 and 1e-5... at benchmark
+// scale; at reduced scale the ratio is correspondingly larger, and the
+// comparison of interest is that it stays ≪ 1).
+func (r *Runner) Fig3() ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, a := range r.Apps {
+		res, err := r.simulate(a, r.Cluster.Places, sched.DistWS)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{
+			App:    a.Name(),
+			Steals: res.Counters.Steals(),
+			Tasks:  res.Counters.TasksExecuted,
+			Ratio:  res.Counters.StealsToTaskRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig3 formats Fig. 3.
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — Steals-to-task ratio (DistWS, 128 workers)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "App", "Steals", "Tasks", "Ratio")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %12d %12d %12.2e\n",
+			PaperName[row.App], row.Steals, row.Tasks, row.Ratio)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Fig. 4 — sequential execution time.
+
+// Fig4Row is one bar of Fig. 4.
+type Fig4Row struct {
+	App string
+	// VirtualMS is the trace's sequential time in virtual milliseconds
+	// (what the simulator's speedups are measured against).
+	VirtualMS float64
+	// WallMS is the measured wall-clock time of the real sequential
+	// implementation at the configured scale on this host.
+	WallMS float64
+}
+
+// Fig4 measures sequential execution times.
+func (r *Runner) Fig4() ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, a := range r.Apps {
+		g, err := r.Trace(a, r.Cluster.Places)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		a.Sequential()
+		wall := time.Since(start)
+		rows = append(rows, Fig4Row{
+			App:       a.Name(),
+			VirtualMS: float64(g.Sequential()) / 1e6,
+			WallMS:    float64(wall.Nanoseconds()) / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig4 formats Fig. 4.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — Sequential execution time\n")
+	fmt.Fprintf(&b, "%-12s %16s %16s\n", "App", "Virtual (ms)", "Host wall (ms)")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %16.1f %16.1f\n", PaperName[row.App], row.VirtualMS, row.WallMS)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Fig. 5 — speedup sweep X10WS vs DistWS.
+
+// Fig5Cell is one (worker count, policy pair) sample.
+type Fig5Cell struct {
+	Places  int
+	Workers int
+	X10WS   float64
+	DistWS  float64
+}
+
+// Fig5Row is one application's speedup curves.
+type Fig5Row struct {
+	App   string
+	Cells []Fig5Cell
+	// BestGainPct is the largest DistWS improvement over X10WS across the
+	// sweep, in percent.
+	BestGainPct float64
+	// PaperGainPct is the paper's quoted best improvement, if any.
+	PaperGainPct float64
+}
+
+// Fig5 sweeps places 1..16 (8 workers each) under both schedulers.
+func (r *Runner) Fig5(placeCounts []int) ([]Fig5Row, error) {
+	if len(placeCounts) == 0 {
+		placeCounts = []int{1, 2, 4, 8, 16}
+	}
+	var rows []Fig5Row
+	for _, a := range r.Apps {
+		row := Fig5Row{App: a.Name(), PaperGainPct: PaperBestGainPct[a.Name()]}
+		for _, p := range placeCounts {
+			x10, err := r.simulate(a, p, sched.X10WS)
+			if err != nil {
+				return nil, err
+			}
+			dws, err := r.simulate(a, p, sched.DistWS)
+			if err != nil {
+				return nil, err
+			}
+			cell := Fig5Cell{
+				Places:  p,
+				Workers: p * r.Cluster.WorkersPerPlace,
+				X10WS:   x10.Speedup(),
+				DistWS:  dws.Speedup(),
+			}
+			row.Cells = append(row.Cells, cell)
+			if p > 1 && cell.X10WS > 0 {
+				gain := 100 * (cell.DistWS - cell.X10WS) / cell.X10WS
+				if gain > row.BestGainPct {
+					row.BestGainPct = gain
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig5 formats Fig. 5.
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — Speedup over sequential, X10WS vs DistWS (8 workers/place)\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s", PaperName[row.App])
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, "  w=%-3d %6.1f/%-6.1f", c.Workers, c.X10WS, c.DistWS)
+		}
+		if row.PaperGainPct > 0 {
+			fmt.Fprintf(&b, "  best gain %.0f%% (paper %.0f%%)", row.BestGainPct, row.PaperGainPct)
+		} else {
+			fmt.Fprintf(&b, "  best gain %.0f%%", row.BestGainPct)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(cells are X10WS/DistWS speedups)\n")
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Table I — task granularities.
+
+// Table1Row compares measured and paper granularities.
+type Table1Row struct {
+	App        string
+	MeasuredMS float64
+	PaperMS    float64
+}
+
+// Table1 reports the mean flexible-task granularity of every trace,
+// which the generators calibrate to the paper's Table I.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, a := range r.Apps {
+		g, err := r.Trace(a, r.Cluster.Places)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			App:        a.Name(),
+			MeasuredMS: float64(apps.MeanFlexibleCostNS(g)) / 1e6,
+			PaperMS:    PaperGranularityMS[a.Name()],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table I.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — Task granularities (ms)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "App", "Measured", "Paper")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %12.3f %12.3f\n", PaperName[row.App], row.MeasuredMS, row.PaperMS)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Table II — L1d miss rates.
+
+// Table2Row is one application's modelled miss rates per policy.
+type Table2Row struct {
+	App                     string
+	X10WS, DistWSNS, DistWS float64
+	Paper                   [3]float64
+}
+
+// Table2 runs the three schedulers at 128 workers and reports modelled
+// L1d miss rates.
+func (r *Runner) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, a := range r.Apps {
+		var rates [3]float64
+		for i, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
+			res, err := r.simulate(a, r.Cluster.Places, k)
+			if err != nil {
+				return nil, err
+			}
+			rates[i] = res.Counters.CacheMissRate()
+		}
+		rows = append(rows, Table2Row{
+			App: a.Name(), X10WS: rates[0], DistWSNS: rates[1], DistWS: rates[2],
+			Paper: PaperMissRates[a.Name()],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table II.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — L1d miss rates (%%) at 128 workers (measured | paper)\n")
+	fmt.Fprintf(&b, "%-12s %18s %18s %18s\n", "App", "X10WS", "DistWS-NS", "DistWS")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %8.1f | %6.1f %8.1f | %6.1f %8.1f | %6.1f\n",
+			PaperName[row.App],
+			row.X10WS, row.Paper[0], row.DistWSNS, row.Paper[1], row.DistWS, row.Paper[2])
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Table III — messages across nodes.
+
+// Table3Row is one application's message counts per policy.
+type Table3Row struct {
+	App                     string
+	X10WS, DistWSNS, DistWS int64
+	Paper                   [3]int64
+}
+
+// Table3 runs the three schedulers at 128 workers and reports messages
+// transmitted across nodes.
+func (r *Runner) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, a := range r.Apps {
+		var msgs [3]int64
+		for i, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
+			res, err := r.simulate(a, r.Cluster.Places, k)
+			if err != nil {
+				return nil, err
+			}
+			msgs[i] = res.Counters.Messages
+		}
+		rows = append(rows, Table3Row{
+			App: a.Name(), X10WS: msgs[0], DistWSNS: msgs[1], DistWS: msgs[2],
+			Paper: PaperMessages[a.Name()],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 formats Table III.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — Messages across nodes at 128 workers (measured | paper)\n")
+	fmt.Fprintf(&b, "%-12s %22s %22s %22s\n", "App", "X10WS", "DistWS-NS", "DistWS")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %10d | %-10d %10d | %-10d %10d | %-10d\n",
+			PaperName[row.App],
+			row.X10WS, row.Paper[0], row.DistWSNS, row.Paper[1], row.DistWS, row.Paper[2])
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Fig. 6 — policy comparison at 128 workers.
+
+// Fig6Row is one application's speedups at the full cluster.
+type Fig6Row struct {
+	App                     string
+	X10WS, DistWSNS, DistWS float64
+}
+
+// Fig6 compares the three schedulers at 128 workers.
+func (r *Runner) Fig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, a := range r.Apps {
+		var s [3]float64
+		for i, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
+			res, err := r.simulate(a, r.Cluster.Places, k)
+			if err != nil {
+				return nil, err
+			}
+			s[i] = res.Speedup()
+		}
+		rows = append(rows, Fig6Row{App: a.Name(), X10WS: s[0], DistWSNS: s[1], DistWS: s[2]})
+	}
+	return rows, nil
+}
+
+// RenderFig6 formats Fig. 6.
+func RenderFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — Speedups at 128 workers\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %10s\n", "App", "X10WS", "DistWS-NS", "DistWS")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %10.1f %12.1f %10.1f\n",
+			PaperName[row.App], row.X10WS, row.DistWSNS, row.DistWS)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Fig. 7 — per-node CPU utilization.
+
+// Fig7Row is one (app, policy) utilization series.
+type Fig7Row struct {
+	App      string
+	Policy   sched.Kind
+	Util     []float64
+	Spread   metrics.Spread
+	Variance float64
+}
+
+// Fig7 reports per-place utilization for every app under the three
+// schedulers.
+func (r *Runner) Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, a := range r.Apps {
+		for _, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
+			res, err := r.simulate(a, r.Cluster.Places, k)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig7Row{
+				App:      a.Name(),
+				Policy:   k,
+				Util:     res.Utilization,
+				Spread:   metrics.Summarize(res.Utilization),
+				Variance: metrics.Variance(res.Utilization),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig7 formats Fig. 7 summaries.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — Per-node CPU utilization (paper: ~35%% disparity under X10WS, ~13%% variance under DistWS)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %8s %8s %8s %10s %10s\n",
+		"App", "Policy", "Min%", "Max%", "Mean%", "Disparity", "Variance")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %-10s %8.1f %8.1f %8.1f %10.1f %10.1f\n",
+			PaperName[row.App], row.Policy.String(),
+			row.Spread.Min, row.Spread.Max, row.Spread.Mean, row.Spread.Disparity, row.Variance)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// §VIII-Q2 — granularity study on the micro apps.
+
+// GranRow is one micro-app comparison.
+type GranRow struct {
+	App     string
+	GranMS  float64
+	X10WS   float64
+	DistWS  float64
+	GainPct float64 // DistWS over X10WS; negative = DistWS worse
+}
+
+// GranularityStudy runs the five fine-grained apps at the full cluster.
+func (r *Runner) GranularityStudy() ([]GranRow, error) {
+	var rows []GranRow
+	for _, a := range suite.Micro(r.Seed) {
+		g, err := r.Trace(a, r.Cluster.Places)
+		if err != nil {
+			return nil, err
+		}
+		x10, err := r.simulate(a, r.Cluster.Places, sched.X10WS)
+		if err != nil {
+			return nil, err
+		}
+		dws, err := r.simulate(a, r.Cluster.Places, sched.DistWS)
+		if err != nil {
+			return nil, err
+		}
+		row := GranRow{
+			App:    a.Name(),
+			GranMS: float64(apps.MeanFlexibleCostNS(g)) / 1e6,
+			X10WS:  x10.Speedup(),
+			DistWS: dws.Speedup(),
+		}
+		if row.X10WS > 0 {
+			row.GainPct = 100 * (row.DistWS - row.X10WS) / row.X10WS
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].GranMS > rows[j].GranMS })
+	return rows, nil
+}
+
+// RenderGranularity formats the granularity study.
+func RenderGranularity(rows []GranRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§VIII-Q2 — Granularity study at 128 workers (fine-grained tasks do not profit from DistWS)\n")
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %8s\n", "App", "Gran (ms)", "X10WS", "DistWS", "Gain%")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-16s %10.3f %10.1f %10.1f %8.1f\n",
+			PaperName[row.App], row.GranMS, row.X10WS, row.DistWS, row.GainPct)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// §X — UTS: DistWS vs randomized and lifeline-based stealing.
+
+// UTSRow is one policy's UTS result.
+type UTSRow struct {
+	Policy     sched.Kind
+	MakespanMS float64
+	Speedup    float64
+	Messages   int64
+	Steals     int64
+}
+
+// UTSStudy runs UTS under RandomWS, LifelineWS and DistWS at the full
+// cluster (paper: lifeline wins on UTS; DistWS beats random by ~9%; and
+// DistWS adds no overhead when every task is flexible).
+func (r *Runner) UTSStudy() ([]UTSRow, error) {
+	app := suite.UTS(r.Seed)
+	g, err := r.Trace(app, r.Cluster.Places)
+	if err != nil {
+		return nil, err
+	}
+	var rows []UTSRow
+	for _, k := range []sched.Kind{sched.RandomWS, sched.LifelineWS, sched.DistWS} {
+		res, err := sim.Run(g, r.Cluster, k, sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, UTSRow{
+			Policy:     k,
+			MakespanMS: float64(res.MakespanNS) / 1e6,
+			Speedup:    res.Speedup(),
+			Messages:   res.Counters.Messages,
+			Steals:     res.Counters.Steals(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderUTS formats the UTS study.
+func RenderUTS(rows []UTSRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§X — UTS at 128 workers (paper: Lifeline > DistWS > Random; DistWS ≈ +9%% over Random)\n")
+	fmt.Fprintf(&b, "%-12s %14s %10s %12s %10s\n", "Policy", "Makespan(ms)", "Speedup", "Messages", "Steals")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %14.1f %10.1f %12d %10d\n",
+			row.Policy.String(), row.MakespanMS, row.Speedup, row.Messages, row.Steals)
+	}
+	return b.String()
+}

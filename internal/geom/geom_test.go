@@ -1,0 +1,215 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient2D(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if Orient2D(a, b, Point{0, 1}) <= 0 {
+		t.Fatalf("CCW triple should be positive")
+	}
+	if Orient2D(a, b, Point{0, -1}) >= 0 {
+		t.Fatalf("CW triple should be negative")
+	}
+	if Orient2D(a, b, Point{2, 0}) != 0 {
+		t.Fatalf("collinear triple should be zero")
+	}
+}
+
+func TestInCircumcircle(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0) — CCW.
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	if !InCircumcircle(a, b, c, Point{0, 0}) {
+		t.Fatalf("center should be inside")
+	}
+	if InCircumcircle(a, b, c, Point{2, 2}) {
+		t.Fatalf("far point should be outside")
+	}
+}
+
+func TestCircumcenter(t *testing.T) {
+	cc, ok := Circumcenter(Point{1, 0}, Point{0, 1}, Point{-1, 0})
+	if !ok {
+		t.Fatalf("circumcenter of proper triangle should exist")
+	}
+	if math.Abs(cc.X) > 1e-9 || math.Abs(cc.Y) > 1e-9 {
+		t.Fatalf("circumcenter = %v, want origin", cc)
+	}
+	if _, ok := Circumcenter(Point{0, 0}, Point{1, 1}, Point{2, 2}); ok {
+		t.Fatalf("degenerate triangle should have no circumcenter")
+	}
+}
+
+func TestMinAngleDeg(t *testing.T) {
+	// Equilateral: all angles 60.
+	h := math.Sqrt(3) / 2
+	got := MinAngleDeg(Point{0, 0}, Point{1, 0}, Point{0.5, h})
+	if math.Abs(got-60) > 1e-6 {
+		t.Fatalf("equilateral min angle = %v, want 60", got)
+	}
+	// Right isoceles: min angle 45.
+	got = MinAngleDeg(Point{0, 0}, Point{1, 0}, Point{0, 1})
+	if math.Abs(got-45) > 1e-6 {
+		t.Fatalf("right isoceles min angle = %v, want 45", got)
+	}
+}
+
+func TestInsertSinglePoint(t *testing.T) {
+	m := NewMesh(0, 0, 1, 1)
+	created, err := m.Insert(Point{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if len(created) != 3 {
+		t.Fatalf("inserting into one triangle should create 3, got %d", len(created))
+	}
+	if m.NumAlive() != 3 {
+		t.Fatalf("NumAlive = %d, want 3", m.NumAlive())
+	}
+	if err := m.Validate(true); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestInsertManyPointsStaysDelaunay(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMesh(0, 0, 1, 1)
+	n := 120
+	for i := 0; i < n; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		if _, err := m.Insert(p); err != nil {
+			t.Fatalf("Insert #%d: %v", i, err)
+		}
+	}
+	if err := m.Validate(true); err != nil {
+		t.Fatalf("mesh invalid after %d inserts: %v", n, err)
+	}
+	// Euler: with s super vertices, n inner points, all inside the super
+	// triangle: triangles = 2*(n+3) - 2 - 3 = 2n+1.
+	if got, want := m.NumAlive(), 2*n+1; got != want {
+		t.Fatalf("NumAlive = %d, want %d", got, want)
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	m := NewMesh(0, 0, 1, 1)
+	if _, err := m.Insert(Point{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(Point{0.5, 0.5}); err == nil {
+		t.Fatalf("duplicate insert should fail")
+	}
+}
+
+func TestInsertOutsideRejected(t *testing.T) {
+	m := NewMesh(0, 0, 1, 1)
+	if _, err := m.Insert(Point{1e9, 1e9}); err == nil {
+		t.Fatalf("point outside the super-triangle should be rejected")
+	}
+}
+
+func TestLocateFindsContainingTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMesh(0, 0, 1, 1)
+	for i := 0; i < 60; i++ {
+		m.Insert(Point{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 100; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		ti := m.Locate(p)
+		if ti < 0 {
+			t.Fatalf("Locate failed for in-domain point %v", p)
+		}
+		if !m.contains(ti, p) {
+			t.Fatalf("Locate returned triangle not containing %v", p)
+		}
+	}
+}
+
+func TestInsertStepsAccumulate(t *testing.T) {
+	m := NewMesh(0, 0, 1, 1)
+	m.Insert(Point{0.3, 0.3})
+	if m.InsertSteps == 0 {
+		t.Fatalf("InsertSteps should accumulate cavity work")
+	}
+}
+
+func TestHasSuperVertex(t *testing.T) {
+	m := NewMesh(0, 0, 1, 1)
+	if !m.HasSuperVertex(0) {
+		t.Fatalf("initial triangle is the super-triangle")
+	}
+	// Three interior points form one triangle with no super vertices.
+	m.Insert(Point{0.4, 0.4})
+	m.Insert(Point{0.6, 0.4})
+	m.Insert(Point{0.5, 0.6})
+	any := false
+	for i := range m.Tris {
+		if m.Tris[i].Alive && !m.HasSuperVertex(i) {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatalf("after 3 inserts some triangle should be fully interior")
+	}
+}
+
+// Property: for random point sets, the mesh remains structurally valid and
+// triangle count follows Euler's formula.
+func TestMeshInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMesh(0, 0, 1, 1)
+		inserted := 0
+		for i := 0; i < n; i++ {
+			if _, err := m.Insert(Point{rng.Float64(), rng.Float64()}); err == nil {
+				inserted++
+			}
+		}
+		if err := m.Validate(true); err != nil {
+			return false
+		}
+		return m.NumAlive() == 2*inserted+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the in-circumcircle predicate is symmetric under rotation of
+// the triangle's vertices.
+func TestInCircumcircleRotationProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, px, py int8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		p := Point{float64(px), float64(py)}
+		if Orient2D(a, b, c) <= 0 {
+			a, b = b, a // force CCW; skip degenerate
+			if Orient2D(a, b, c) <= 0 {
+				return true
+			}
+		}
+		r1 := InCircumcircle(a, b, c, p)
+		r2 := InCircumcircle(b, c, a, p)
+		r3 := InCircumcircle(c, a, b, p)
+		return r1 == r2 && r2 == r3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMesh(0, 0, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Insert(Point{rng.Float64(), rng.Float64()})
+	}
+}

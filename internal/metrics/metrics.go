@@ -1,0 +1,202 @@
+// Package metrics provides lock-free counters and per-place utilization
+// accounting shared by the real runtime (internal/core) and the cluster
+// simulator (internal/sim).
+//
+// The counter set mirrors the quantities reported in the paper's
+// evaluation: local and remote steal counts (Fig. 3), messages and bytes
+// transmitted across nodes (Table III), cache misses and references
+// (Table II), and per-place busy time for CPU-utilization curves (Fig. 7).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counters aggregates the scheduler- and transport-level event counts for a
+// single run. All methods are safe for concurrent use; the zero value is
+// ready to use.
+type Counters struct {
+	TasksExecuted    atomic.Int64 // tasks run to completion
+	TasksSpawned     atomic.Int64 // tasks created
+	LocalSteals      atomic.Int64 // successful steals within a place
+	RemoteSteals     atomic.Int64 // successful steals across places
+	FailedSteals     atomic.Int64 // steal attempts that found nothing
+	RemoteProbes     atomic.Int64 // remote steal requests sent (incl. failed)
+	Messages         atomic.Int64 // messages across nodes (steal traffic + data)
+	BytesTransferred atomic.Int64 // payload bytes across nodes
+	CacheRefs        atomic.Int64 // modelled cache references
+	CacheMisses      atomic.Int64 // modelled cache misses
+	RemoteDataAccess atomic.Int64 // at() style remote reference operations
+	TasksMigrated    atomic.Int64 // tasks executed away from their home place
+}
+
+// Snapshot is an immutable copy of a Counters at one instant.
+type Snapshot struct {
+	TasksExecuted    int64
+	TasksSpawned     int64
+	LocalSteals      int64
+	RemoteSteals     int64
+	FailedSteals     int64
+	RemoteProbes     int64
+	Messages         int64
+	BytesTransferred int64
+	CacheRefs        int64
+	CacheMisses      int64
+	RemoteDataAccess int64
+	TasksMigrated    int64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy of the counters.
+// Individual fields are loaded atomically; the set as a whole is not a
+// linearizable snapshot, which is fine for end-of-run reporting.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		TasksExecuted:    c.TasksExecuted.Load(),
+		TasksSpawned:     c.TasksSpawned.Load(),
+		LocalSteals:      c.LocalSteals.Load(),
+		RemoteSteals:     c.RemoteSteals.Load(),
+		FailedSteals:     c.FailedSteals.Load(),
+		RemoteProbes:     c.RemoteProbes.Load(),
+		Messages:         c.Messages.Load(),
+		BytesTransferred: c.BytesTransferred.Load(),
+		CacheRefs:        c.CacheRefs.Load(),
+		CacheMisses:      c.CacheMisses.Load(),
+		RemoteDataAccess: c.RemoteDataAccess.Load(),
+		TasksMigrated:    c.TasksMigrated.Load(),
+	}
+}
+
+// Steals returns the total number of successful steal operations.
+func (s Snapshot) Steals() int64 { return s.LocalSteals + s.RemoteSteals }
+
+// StealsToTaskRatio returns steals divided by executed tasks, the quantity
+// plotted in Fig. 3. It returns 0 when no tasks ran.
+func (s Snapshot) StealsToTaskRatio() float64 {
+	if s.TasksExecuted == 0 {
+		return 0
+	}
+	return float64(s.Steals()) / float64(s.TasksExecuted)
+}
+
+// CacheMissRate returns modelled misses per reference in percent (Table II).
+func (s Snapshot) CacheMissRate() float64 {
+	if s.CacheRefs == 0 {
+		return 0
+	}
+	return 100 * float64(s.CacheMisses) / float64(s.CacheRefs)
+}
+
+// String renders the snapshot as a single human-readable line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"tasks=%d spawned=%d steals(local=%d remote=%d failed=%d) msgs=%d bytes=%d missRate=%.2f%% migrated=%d",
+		s.TasksExecuted, s.TasksSpawned, s.LocalSteals, s.RemoteSteals,
+		s.FailedSteals, s.Messages, s.BytesTransferred, s.CacheMissRate(),
+		s.TasksMigrated)
+}
+
+// Utilization tracks per-place busy time against a common total, yielding
+// the per-node CPU utilization series of Fig. 7.
+//
+// Time is dimensionless: the real runtime feeds nanoseconds, the simulator
+// feeds virtual ticks. The zero value is unusable; create with NewUtilization.
+type Utilization struct {
+	busy []atomic.Int64 // one slot per place
+}
+
+// NewUtilization returns a tracker for places places.
+func NewUtilization(places int) *Utilization {
+	if places <= 0 {
+		panic(fmt.Sprintf("metrics: NewUtilization places=%d, want > 0", places))
+	}
+	return &Utilization{busy: make([]atomic.Int64, places)}
+}
+
+// AddBusy credits d time units of useful work to place p.
+func (u *Utilization) AddBusy(p int, d int64) { u.busy[p].Add(d) }
+
+// Places returns the number of tracked places.
+func (u *Utilization) Places() int { return len(u.busy) }
+
+// Busy returns the busy time accumulated by place p.
+func (u *Utilization) Busy(p int) int64 { return u.busy[p].Load() }
+
+// Fractions returns, for a run lasting total time units on workersPerPlace
+// workers per place, the busy fraction of each place in percent.
+func (u *Utilization) Fractions(total int64, workersPerPlace int) []float64 {
+	out := make([]float64, len(u.busy))
+	denom := float64(total) * float64(workersPerPlace)
+	if denom <= 0 {
+		return out
+	}
+	for i := range u.busy {
+		f := 100 * float64(u.busy[i].Load()) / denom
+		if f > 100 {
+			f = 100
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// Spread summarizes a utilization series: min, max, mean, and the
+// max-min disparity the paper quotes (≈35 % for X10WS, ≈13 % for DistWS).
+type Spread struct {
+	Min, Max, Mean, Disparity float64
+}
+
+// Summarize computes the Spread of a utilization series.
+func Summarize(fractions []float64) Spread {
+	if len(fractions) == 0 {
+		return Spread{}
+	}
+	sp := Spread{Min: fractions[0], Max: fractions[0]}
+	var sum float64
+	for _, f := range fractions {
+		if f < sp.Min {
+			sp.Min = f
+		}
+		if f > sp.Max {
+			sp.Max = f
+		}
+		sum += f
+	}
+	sp.Mean = sum / float64(len(fractions))
+	sp.Disparity = sp.Max - sp.Min
+	return sp
+}
+
+// Variance returns the population variance of the series, matching the
+// paper's "average variance in node utilization" phrasing.
+func Variance(fractions []float64) float64 {
+	if len(fractions) == 0 {
+		return 0
+	}
+	mean := Summarize(fractions).Mean
+	var acc float64
+	for _, f := range fractions {
+		d := f - mean
+		acc += d * d
+	}
+	return acc / float64(len(fractions))
+}
+
+// FormatSeries renders a utilization series compactly, sorted by place id.
+func FormatSeries(fractions []float64) string {
+	idx := make([]int, len(fractions))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Ints(idx)
+	var b strings.Builder
+	for i, id := range idx {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "p%d=%.1f%%", id, fractions[id])
+	}
+	return b.String()
+}

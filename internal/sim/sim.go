@@ -1,0 +1,680 @@
+// Package sim is a deterministic discrete-event simulator that replays an
+// application task graph (internal/trace) on a virtual cluster under any
+// scheduling policy from internal/sched. It is the substitute for the
+// paper's 16-node InfiniBand testbed: virtual time lets the repository
+// reproduce 128-worker scheduling behaviour — makespans, steal counts,
+// message counts, cache miss rates and per-node utilization — on any host,
+// using exactly the policy decision code the real runtime executes.
+//
+// # Model
+//
+// Each virtual worker owns a private LIFO deque; each place owns a shared
+// FIFO deque (paper Fig. 2). Workers execute tasks for their recorded
+// costs; spawned children become available partway through the parent's
+// execution. An idle worker performs one Algorithm-1 sweep — own deque,
+// co-located deques, local shared deque, then remote shared deques in
+// randomized order — accumulating modelled software and network delays,
+// and goes dormant if the sweep fails; pushes of new work wake dormant
+// workers (locally first, then one remote place when the work is
+// remotely stealable). Migration costs are charged at execution time:
+// payload transfer for the task's data plus one round trip per remote
+// reference the task performs away from home, plus a per-miss penalty
+// from the LRU cache model.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"distws/internal/cachesim"
+	"distws/internal/deque"
+	"distws/internal/metrics"
+	"distws/internal/sched"
+	"distws/internal/task"
+	"distws/internal/topology"
+	"distws/internal/trace"
+)
+
+// Options tunes the simulation.
+type Options struct {
+	// Seed drives victim selection. Zero picks 1.
+	Seed int64
+	// CacheBlocks is the per-worker modelled L1d capacity in blocks.
+	// Zero picks 512 (a 32 KiB cache of 64-byte lines).
+	CacheBlocks int
+	// MissPenaltyNS is the stall charged per modelled cache miss.
+	// Zero picks 150ns.
+	MissPenaltyNS int64
+	// RemoteRefBytes is the payload of one remote data reference.
+	// Zero picks 256.
+	RemoteRefBytes int
+	// ChunkOverride, when positive, overrides the policy's distributed
+	// steal chunk size (ablation of §V-B3's empirical choice of 2).
+	ChunkOverride int
+	// ForceSharedFlexible disables Algorithm 1's idle/under-utilized
+	// exception: every flexible task maps to the shared deque (ablation
+	// of lines 5–8).
+	ForceSharedFlexible bool
+	// LockContention serializes shared-deque operations through each
+	// place's deque lock: a consumer arriving while the lock is held
+	// waits its turn (§V: "a local worker might end up waiting for
+	// thousands of cycles"). Off by default; enable to study contention
+	// on fine-grained workloads.
+	LockContention bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 512
+	}
+	if o.MissPenaltyNS == 0 {
+		o.MissPenaltyNS = 150
+	}
+	if o.RemoteRefBytes == 0 {
+		o.RemoteRefBytes = 256
+	}
+	return o
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	Graph        string
+	Policy       sched.Kind
+	Cluster      topology.Cluster
+	MakespanNS   int64
+	SequentialNS int64
+	Counters     metrics.Snapshot
+	// PlaceBusyNS is the total busy worker time per place.
+	PlaceBusyNS []int64
+	// Utilization is each place's busy fraction of the makespan in percent.
+	Utilization []float64
+}
+
+// Speedup returns sequential time over makespan.
+func (r *Result) Speedup() float64 {
+	if r.MakespanNS <= 0 {
+		return 0
+	}
+	return float64(r.SequentialNS) / float64(r.MakespanNS)
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s on %s: makespan=%.3fms speedup=%.2f %s",
+		r.Graph, r.Policy, r.Cluster.String(),
+		float64(r.MakespanNS)/1e6, r.Speedup(), r.Counters.String())
+}
+
+// event kinds.
+type evKind uint8
+
+const (
+	evSpawn  evKind = iota // a task becomes available
+	evWake                 // an idle worker re-checks for work
+	evDone                 // a worker finishes its task
+	evArrive               // stolen/pushed tasks arrive at a place's shared deque
+)
+
+type event struct {
+	at     int64
+	seq    uint64
+	kind   evKind
+	worker int   // evWake, evDone
+	taskID int   // evSpawn, evDone
+	home   int   // evSpawn: resolved home place
+	from   int   // evSpawn: spawning place (-1 for roots)
+	fromW  int   // evSpawn: spawning worker id (-1 if none/remote)
+	place  int   // evArrive
+	batch  []int // evArrive payload
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+type simWorker struct {
+	id    int
+	local int
+	place *simPlace
+	priv  deque.Private[int]
+	busy  bool
+	// wakePending dedups wake events so a dormant worker has at most one
+	// outstanding wake.
+	wakePending bool
+	rng         *rand.Rand
+	busyNS      int64
+}
+
+type simPlace struct {
+	id           int
+	shared       deque.Shared[int]
+	workers      []*simWorker
+	running      int
+	queued       int
+	pendingWakes int // wakes scheduled but not yet handled
+	active       bool
+	failedSweeps int
+	spawnSeq     uint64
+	rr           int
+	lifelines    []bool // waiting places registered on this place
+	// cache models the node's data cache: tasks executing at their home
+	// place find their blocks warm across repeated visits; migrated tasks
+	// start cold (their blocks are aliased per executing place).
+	cache *cachesim.Cache
+	// lockFreeAt is when the shared deque's lock next becomes available
+	// (LockContention only).
+	lockFreeAt int64
+}
+
+type engine struct {
+	g       *trace.Graph
+	cl      topology.Cluster
+	policy  sched.Kind
+	opts    Options
+	ctrs    metrics.Counters
+	events  eventHeap
+	seq     uint64
+	now     int64
+	places  []*simPlace
+	workers []*simWorker
+
+	tasksDone int
+	lastDone  int64
+	remoteRR  int
+
+	// resolvedHome is each task's home place as fixed at spawn time
+	// (HomeInherit children are homed at their parent's executing place).
+	resolvedHome []int
+}
+
+// Run simulates graph g on cluster cl under policy, returning the run's
+// metrics. The same (graph, cluster, policy, options) always produces the
+// same result.
+func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if !sched.Valid(policy) {
+		return nil, fmt.Errorf("sim: invalid policy %v", policy)
+	}
+	opts = opts.withDefaults()
+
+	e := &engine{g: g, cl: cl, policy: policy, opts: opts}
+	e.resolvedHome = make([]int, len(g.Tasks))
+	e.places = make([]*simPlace, cl.Places)
+	for p := range e.places {
+		e.places[p] = &simPlace{
+			id:        p,
+			lifelines: make([]bool, cl.Places),
+			cache:     cachesim.New(opts.CacheBlocks),
+		}
+	}
+	for p, pl := range e.places {
+		pl.workers = make([]*simWorker, cl.WorkersPerPlace)
+		for i := range pl.workers {
+			w := &simWorker{
+				id:    p*cl.WorkersPerPlace + i,
+				local: i,
+				place: pl,
+				rng:   rand.New(rand.NewSource(opts.Seed + int64(p*1000+i))),
+			}
+			pl.workers[i] = w
+			e.workers = append(e.workers, w)
+		}
+	}
+
+	for _, r := range g.Roots {
+		home := g.Tasks[r].Home
+		if home < 0 || home >= cl.Places {
+			home = 0
+		}
+		e.push(event{at: 0, kind: evSpawn, taskID: r, home: home, from: -1, fromW: -1})
+	}
+
+	for len(e.events) > 0 && e.tasksDone < len(g.Tasks) {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		switch ev.kind {
+		case evSpawn:
+			e.handleSpawn(ev)
+		case evWake:
+			e.handleWake(ev.worker)
+		case evDone:
+			e.handleDone(ev)
+		case evArrive:
+			e.handleArrive(ev)
+		}
+	}
+	if e.tasksDone < len(g.Tasks) {
+		return nil, fmt.Errorf("sim: stalled with %d of %d tasks done (scheduler invariant violated)",
+			e.tasksDone, len(g.Tasks))
+	}
+
+	res := &Result{
+		Graph:        g.Name,
+		Policy:       policy,
+		Cluster:      cl,
+		MakespanNS:   e.lastDone,
+		SequentialNS: g.Sequential(),
+		Counters:     e.ctrs.Snapshot(),
+		PlaceBusyNS:  make([]int64, cl.Places),
+	}
+	for _, w := range e.workers {
+		res.PlaceBusyNS[w.place.id] += w.busyNS
+	}
+	res.Utilization = make([]float64, cl.Places)
+	if e.lastDone > 0 {
+		for p, busy := range res.PlaceBusyNS {
+			f := 100 * float64(busy) / (float64(e.lastDone) * float64(cl.WorkersPerPlace))
+			if f > 100 {
+				f = 100
+			}
+			res.Utilization[p] = f
+		}
+	}
+	return res, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+func classOf(t *trace.Task) task.Class {
+	if t.Flexible {
+		return task.Flexible
+	}
+	return task.Sensitive
+}
+
+func (e *engine) load(p *simPlace) sched.PlaceLoad {
+	// Workers with a wake already scheduled are committed to queued work,
+	// so they do not count as spare capacity: without this, a burst of
+	// spawns at one instant would map everything to private deques.
+	spares := e.cl.WorkersPerPlace - p.running - p.pendingWakes
+	if spares < 0 {
+		spares = 0
+	}
+	return sched.PlaceLoad{
+		Active:     p.active,
+		Spares:     spares,
+		Size:       p.running + p.queued,
+		MaxThreads: e.cl.WorkersPerPlace,
+	}
+}
+
+// handleSpawn maps a newly available task per Algorithm 1 lines 1–8.
+func (e *engine) handleSpawn(ev event) {
+	t := &e.g.Tasks[ev.taskID]
+	home := e.places[ev.home]
+	e.resolvedHome[ev.taskID] = ev.home
+	e.ctrs.TasksSpawned.Add(1)
+
+	if ev.from >= 0 && ev.from != ev.home {
+		// Cross-place async: ship the task and its payload.
+		e.ctrs.Messages.Add(1)
+		e.ctrs.BytesTransferred.Add(int64(t.MigBytes))
+	}
+
+	target := sched.MapTask(e.policy, classOf(t), e.load(home), home.spawnSeq)
+	if e.opts.ForceSharedFlexible && t.Flexible && sched.RemoteStealing(e.policy) {
+		target = sched.TargetShared
+	}
+	home.spawnSeq++
+	home.queued++
+	home.active = true
+	home.failedSweeps = 0
+	if target == sched.TargetShared {
+		home.shared.Push(ev.taskID)
+		if e.policy == sched.LifelineWS {
+			e.serveLifelines(home)
+		}
+	} else {
+		// X10 help-first semantics: a task spawned by a co-located worker
+		// lands in that worker's own deque; tasks arriving from elsewhere
+		// are spread round robin.
+		var w *simWorker
+		if ev.fromW >= 0 && e.workers[ev.fromW].place == home {
+			w = e.workers[ev.fromW]
+		} else {
+			w = home.workers[home.rr%len(home.workers)]
+			home.rr++
+		}
+		w.priv.Push(ev.taskID)
+	}
+	e.wakeFor(home, target == sched.TargetShared)
+}
+
+// wakeFor wakes an idle worker that could pick up fresh work at place p;
+// when the work is remotely stealable and p has no idle workers, one
+// dormant remote worker is woken to model a thief noticing the surplus.
+func (e *engine) wakeFor(p *simPlace, remotelyStealable bool) {
+	for _, w := range p.workers {
+		if !w.busy && !w.wakePending {
+			w.wakePending = true
+			p.pendingWakes++
+			e.push(event{at: e.now, kind: evWake, worker: w.id})
+			return
+		}
+	}
+	if !remotelyStealable || !sched.RemoteStealing(e.policy) || len(e.places) == 1 {
+		return
+	}
+	for off := 0; off < len(e.places); off++ {
+		q := e.places[(e.remoteRR+off)%len(e.places)]
+		if q == p {
+			continue
+		}
+		for _, w := range q.workers {
+			if !w.busy && !w.wakePending {
+				w.wakePending = true
+				q.pendingWakes++
+				e.remoteRR = (e.remoteRR + off + 1) % len(e.places)
+				e.push(event{at: e.now, kind: evWake, worker: w.id})
+				return
+			}
+		}
+	}
+}
+
+func (e *engine) handleWake(worker int) {
+	w := e.workers[worker]
+	w.wakePending = false
+	w.place.pendingWakes--
+	if w.busy {
+		return
+	}
+	e.findWork(w)
+}
+
+func (e *engine) handleDone(ev event) {
+	w := e.workers[ev.worker]
+	w.busy = false
+	w.place.running--
+	e.tasksDone++
+	e.ctrs.TasksExecuted.Add(1)
+	if e.now > e.lastDone {
+		e.lastDone = e.now
+	}
+	if e.tasksDone == len(e.g.Tasks) {
+		return
+	}
+	e.findWork(w)
+}
+
+func (e *engine) handleArrive(ev event) {
+	p := e.places[ev.place]
+	for _, id := range ev.batch {
+		p.queued++
+		p.shared.Push(id)
+	}
+	p.active = true
+	p.failedSweeps = 0
+	e.wakeFor(p, true)
+}
+
+// findWork performs one Algorithm-1 sweep for w at e.now. On failure the
+// worker goes dormant until the next wake.
+func (e *engine) findWork(w *simWorker) {
+	p := w.place
+	over := e.cl.Over
+
+	// 1. Own private deque.
+	if id, ok := w.priv.Pop(); ok {
+		p.queued--
+		e.start(w, id, over.DispatchNS)
+		return
+	}
+	// 2. Co-located workers' private deques.
+	for off := 1; off < len(p.workers); off++ {
+		peer := p.workers[(w.local+off)%len(p.workers)]
+		if id, ok := peer.priv.Steal(); ok {
+			p.queued--
+			e.ctrs.LocalSteals.Add(1)
+			e.start(w, id, over.LocalStealNS)
+			return
+		}
+	}
+	// 3. The local shared deque. Retrieving a flexible task from the own
+	// place's designated deque is a normal dequeue, not a steal.
+	if id, ok := p.shared.Poll(); ok {
+		p.queued--
+		e.start(w, id, e.sharedDequeDelay(p)+over.DispatchNS)
+		return
+	}
+	// 4. Distributed steal.
+	if sched.RemoteStealing(e.policy) && len(e.places) > 1 {
+		if e.stealRemote(w) {
+			return
+		}
+	}
+	// Nothing found: note the failed sweep and go dormant.
+	e.ctrs.FailedSteals.Add(1)
+	p.failedSweeps++
+	if p.failedSweeps >= sched.FailedStealQuiesceThreshold(e.cl.WorkersPerPlace) {
+		p.active = false
+	}
+	if e.policy == sched.LifelineWS {
+		e.registerLifelines(p)
+	}
+}
+
+// stealRemote probes remote shared deques in randomized order, taking a
+// chunk from the first victim with surplus. Probe round trips and payload
+// transfer delay the stolen task's start.
+func (e *engine) stealRemote(w *simWorker) bool {
+	chunkSize := sched.RemoteChunk(e.policy)
+	if e.opts.ChunkOverride > 0 {
+		chunkSize = e.opts.ChunkOverride
+	}
+	var delay int64
+	probeRTT := e.cl.Net.RoundTripNS(32, 32)
+	for _, v := range sched.VictimOrder(e.policy, w.place.id, len(e.places), w.rng) {
+		victim := e.places[v]
+		e.ctrs.RemoteProbes.Add(1)
+		e.ctrs.Messages.Add(2)
+		delay += probeRTT
+		chunk := victim.shared.StealChunk(chunkSize)
+		if chunk == nil {
+			continue
+		}
+		// Holding the victim's shared-deque lock for the removal.
+		delay += e.sharedDequeDelay(victim) - e.cl.Over.SharedDequeNS
+		victim.queued -= len(chunk)
+		e.ctrs.RemoteSteals.Add(int64(len(chunk)))
+		var bytes int
+		for _, id := range chunk {
+			bytes += e.g.Tasks[id].MigBytes
+		}
+		delay += e.cl.Net.TransferNS(bytes)
+		e.ctrs.BytesTransferred.Add(int64(bytes))
+		if len(chunk) > 1 {
+			e.push(event{at: e.now + delay, kind: evArrive, place: w.place.id, batch: chunk[1:]})
+		}
+		e.start(w, chunk[0], delay)
+		return true
+	}
+	return false
+}
+
+// sharedDequeDelay returns the cost of one shared-deque operation at p:
+// the base lock cost plus, under LockContention, the wait for the lock
+// to free (operations serialize through it).
+func (e *engine) sharedDequeDelay(p *simPlace) int64 {
+	base := e.cl.Over.SharedDequeNS
+	if !e.opts.LockContention {
+		return base
+	}
+	start := e.now
+	if p.lockFreeAt > start {
+		start = p.lockFreeAt
+	}
+	p.lockFreeAt = start + base
+	return (start - e.now) + base
+}
+
+// registerLifelines marks p on its hypercube neighbours (LifelineWS).
+func (e *engine) registerLifelines(p *simPlace) {
+	for _, q := range sched.Lifelines(p.id, len(e.places)) {
+		neighbour := e.places[q]
+		if !neighbour.lifelines[p.id] {
+			neighbour.lifelines[p.id] = true
+			e.ctrs.Messages.Add(1)
+		}
+		e.serveLifelines(neighbour)
+	}
+}
+
+// serveLifelines pushes surplus work from p to registered waiters.
+func (e *engine) serveLifelines(p *simPlace) {
+	for q := range p.lifelines {
+		if p.shared.Len() <= 1 {
+			return
+		}
+		if !p.lifelines[q] {
+			continue
+		}
+		p.lifelines[q] = false
+		if id, ok := p.shared.Poll(); ok {
+			p.queued--
+			t := &e.g.Tasks[id]
+			e.ctrs.Messages.Add(1)
+			e.ctrs.BytesTransferred.Add(int64(t.MigBytes))
+			e.ctrs.RemoteSteals.Add(1)
+			arrive := e.now + e.cl.Net.TransferNS(t.MigBytes)
+			e.push(event{at: arrive, kind: evArrive, place: q, batch: []int{id}})
+		}
+	}
+}
+
+// start begins executing task id on w after startDelay of acquisition
+// latency, charging migration, cache, and communication costs.
+func (e *engine) start(w *simWorker, id int, startDelay int64) {
+	t := &e.g.Tasks[id]
+	p := w.place
+	w.busy = true
+	p.running++
+	p.active = true
+	p.failedSweeps = 0
+
+	service := startDelay
+	if e.policy == sched.DistWS || e.policy == sched.DistWSNS {
+		// Bookkeeping for the dual-deque scheme and load exploration
+		// (the single-node overhead the paper reports).
+		service += e.cl.Over.MapDecisionNS
+	}
+
+	// A task is migrated when it executes away from its home place as
+	// resolved at spawn time (the victim's place for stolen tasks; the
+	// parent's executing place for HomeInherit children).
+	migrated := p.id != e.resolvedHome[id]
+	if migrated {
+		e.ctrs.TasksMigrated.Add(1)
+		if t.MigMsgs > 0 {
+			// Each remote reference is a round trip for cache-line-sized
+			// payload; this is the dominant cost non-selective stealing
+			// pays on locality-sensitive tasks.
+			e.ctrs.Messages.Add(int64(t.MigMsgs))
+			e.ctrs.RemoteDataAccess.Add(int64(t.MigMsgs))
+			e.ctrs.BytesTransferred.Add(int64(t.MigMsgs * e.opts.RemoteRefBytes))
+			service += int64(t.MigMsgs) * e.cl.Net.RoundTripNS(32, e.opts.RemoteRefBytes)
+		}
+	}
+	if t.BaseMsgs > 0 {
+		e.ctrs.Messages.Add(int64(t.BaseMsgs))
+		e.ctrs.BytesTransferred.Add(int64(t.BaseBytes))
+	}
+	if len(t.Blocks) > 0 {
+		reps := t.BlockReps
+		if reps < 1 {
+			reps = 1
+		}
+		switch {
+		case migrated && !t.Flexible:
+			// A migrated locality-sensitive task keeps referencing its
+			// home place's data: every pass misses (the data is remote
+			// and not locally cacheable) — the cache pollution and remote
+			// reference burst the paper attributes to non-selective
+			// stealing (§VIII-Q3).
+			n := int64(len(t.Blocks)) * int64(reps)
+			e.ctrs.CacheRefs.Add(n)
+			e.ctrs.CacheMisses.Add(n)
+			service += n * e.opts.MissPenaltyNS
+		default:
+			blocks := t.Blocks
+			if migrated {
+				// A migrated flexible task carries its data: it pays one
+				// cold pass at the thief (aliased blocks), then hits.
+				blocks = aliasBlocks(t.Blocks, uint64(p.id))
+			}
+			for rep := 0; rep < reps; rep++ {
+				hits, misses := p.cache.TouchAll(blocks)
+				e.ctrs.CacheRefs.Add(int64(hits + misses))
+				e.ctrs.CacheMisses.Add(int64(misses))
+				service += int64(misses) * e.opts.MissPenaltyNS
+			}
+		}
+	}
+
+	service += t.CostNS
+	doneAt := e.now + service
+	w.busyNS += service
+	e.push(event{at: doneAt, kind: evDone, worker: w.id, taskID: id})
+
+	// Children become available during the parent's execution.
+	for i, c := range t.Children {
+		frac := childFrac(t, i)
+		at := e.now + startDelay + int64(frac*float64(t.CostNS))
+		if at > doneAt {
+			at = doneAt
+		}
+		child := &e.g.Tasks[c]
+		home := child.Home
+		if child.HomeMode == trace.HomeInherit {
+			home = p.id
+		}
+		if home < 0 || home >= len(e.places) {
+			home = 0
+		}
+		e.push(event{at: at, kind: evSpawn, taskID: c, home: home, from: p.id, fromW: w.id})
+	}
+}
+
+// childFrac returns when child i spawns as a fraction of the parent's
+// execution: the recorded fraction, or an even spread.
+func childFrac(t *trace.Task, i int) float64 {
+	if len(t.SpawnFrac) == len(t.Children) && len(t.SpawnFrac) > 0 {
+		return t.SpawnFrac[i]
+	}
+	n := len(t.Children)
+	return float64(i+1) / float64(n+1)
+}
+
+// aliasBlocks maps block IDs into a place-specific namespace, modelling
+// that a migrated task's data is cold in the thief's cache.
+func aliasBlocks(blocks []uint64, place uint64) []uint64 {
+	out := make([]uint64, len(blocks))
+	const placeShift = 56
+	for i, b := range blocks {
+		out[i] = b | (place+1)<<placeShift
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferNS(t *testing.T) {
+	n := Network{LatencyNS: 1000, BytesPerNS: 2, MsgOverheadBytes: 0}
+	if got := n.TransferNS(0); got != 1000 {
+		t.Fatalf("TransferNS(0) = %d, want 1000", got)
+	}
+	if got := n.TransferNS(2000); got != 2000 {
+		t.Fatalf("TransferNS(2000) = %d, want 2000 (1000 latency + 1000 xfer)", got)
+	}
+}
+
+func TestTransferNSNegativePayload(t *testing.T) {
+	n := Network{LatencyNS: 100, BytesPerNS: 1}
+	if got := n.TransferNS(-5); got != 100 {
+		t.Fatalf("TransferNS(-5) = %d, want latency only", got)
+	}
+}
+
+func TestTransferNSZeroBandwidth(t *testing.T) {
+	n := Network{LatencyNS: 42}
+	if got := n.TransferNS(1 << 20); got != 42 {
+		t.Fatalf("zero bandwidth should degrade to latency-only, got %d", got)
+	}
+}
+
+func TestTransferNSIncludesOverhead(t *testing.T) {
+	n := Network{LatencyNS: 0, BytesPerNS: 1, MsgOverheadBytes: 64}
+	if got := n.TransferNS(0); got != 64 {
+		t.Fatalf("TransferNS(0) = %d, want 64 overhead bytes at 1 B/ns", got)
+	}
+}
+
+func TestRoundTripNS(t *testing.T) {
+	n := Network{LatencyNS: 10, BytesPerNS: 1}
+	if got, want := n.RoundTripNS(5, 3), int64(10+5+10+3); got != want {
+		t.Fatalf("RoundTripNS = %d, want %d", got, want)
+	}
+}
+
+// Property: transfer time is monotone in payload size.
+func TestTransferMonotoneProperty(t *testing.T) {
+	n := DefaultNetwork()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return n.TransferNS(x) <= n.TransferNS(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperCluster(t *testing.T) {
+	c := Paper()
+	if c.Places != 16 || c.WorkersPerPlace != 8 {
+		t.Fatalf("Paper() = %d×%d, want 16×8", c.Places, c.WorkersPerPlace)
+	}
+	if c.Workers() != 128 {
+		t.Fatalf("Workers() = %d, want 128", c.Workers())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Paper().Validate() = %v", err)
+	}
+}
+
+func TestWithPlaces(t *testing.T) {
+	c := Paper().WithPlaces(4)
+	if c.Places != 4 || c.WorkersPerPlace != 8 || c.Workers() != 32 {
+		t.Fatalf("WithPlaces(4) = %v", c)
+	}
+	if Paper().Places != 16 {
+		t.Fatalf("WithPlaces must not mutate the receiver source")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Cluster{Places: 0, WorkersPerPlace: 8}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("zero places should not validate")
+	}
+	bad = Cluster{Places: 2, WorkersPerPlace: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("negative workers should not validate")
+	}
+	if err := Laptop().Validate(); err != nil {
+		t.Fatalf("Laptop().Validate() = %v", err)
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	s := Paper().String()
+	if !strings.Contains(s, "16×8") || !strings.Contains(s, "128") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("test")
+	r := b.Root(Task{CostNS: 100, Flexible: true})
+	b.Child(r, Task{CostNS: 50})
+	b.Child(r, Task{CostNS: 70, Flexible: true, HomeMode: HomeInherit})
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBuildsValidGraph(t *testing.T) {
+	g := simpleGraph(t)
+	if g.NumTasks() != 3 {
+		t.Fatalf("NumTasks = %d, want 3", g.NumTasks())
+	}
+	if len(g.Roots) != 1 || g.Roots[0] != 0 {
+		t.Fatalf("Roots = %v", g.Roots)
+	}
+	if got := g.TotalWorkNS(); got != 220 {
+		t.Fatalf("TotalWorkNS = %d, want 220", got)
+	}
+	if got := g.Sequential(); got != 220 {
+		t.Fatalf("Sequential = %d, want 220", got)
+	}
+}
+
+func TestSequentialPrefersRecordedTime(t *testing.T) {
+	g := simpleGraph(t)
+	g.SeqNS = 999
+	if got := g.Sequential(); got != 999 {
+		t.Fatalf("Sequential = %d, want recorded 999", got)
+	}
+}
+
+func TestFlexibleFraction(t *testing.T) {
+	g := simpleGraph(t)
+	want := 2.0 / 3.0
+	if got := g.FlexibleFraction(); got != want {
+		t.Fatalf("FlexibleFraction = %v, want %v", got, want)
+	}
+	empty := &Graph{}
+	if empty.FlexibleFraction() != 0 {
+		t.Fatalf("empty graph fraction should be 0")
+	}
+}
+
+func TestValidateCatchesBadID(t *testing.T) {
+	g := &Graph{Tasks: []Task{{ID: 5}}, Roots: []int{0}}
+	assertInvalid(t, g, "has ID")
+}
+
+func TestValidateCatchesNegativeCost(t *testing.T) {
+	g := &Graph{Tasks: []Task{{ID: 0, CostNS: -1}}, Roots: []int{0}}
+	assertInvalid(t, g, "negative cost")
+}
+
+func TestValidateCatchesBadChild(t *testing.T) {
+	g := &Graph{Tasks: []Task{{ID: 0, Children: []int{7}}}, Roots: []int{0}}
+	assertInvalid(t, g, "out-of-range child")
+}
+
+func TestValidateCatchesSelfChild(t *testing.T) {
+	g := &Graph{Tasks: []Task{{ID: 0, Children: []int{0}}}, Roots: []int{0}}
+	assertInvalid(t, g, "own child")
+}
+
+func TestValidateCatchesSharedChild(t *testing.T) {
+	g := &Graph{
+		Tasks: []Task{
+			{ID: 0, Children: []int{2}},
+			{ID: 1, Children: []int{2}},
+			{ID: 2},
+		},
+		Roots: []int{0, 1},
+	}
+	assertInvalid(t, g, "two parents")
+}
+
+func TestValidateCatchesRootWithParent(t *testing.T) {
+	g := &Graph{
+		Tasks: []Task{{ID: 0, Children: []int{1}}, {ID: 1}},
+		Roots: []int{0, 1},
+	}
+	assertInvalid(t, g, "root 1 has a parent")
+}
+
+func TestValidateCatchesUnreachable(t *testing.T) {
+	g := &Graph{Tasks: []Task{{ID: 0}, {ID: 1}}, Roots: []int{0}}
+	assertInvalid(t, g, "unreachable")
+}
+
+func TestValidateCatchesBadSpawnFrac(t *testing.T) {
+	g := &Graph{
+		Tasks: []Task{{ID: 0, Children: []int{1}, SpawnFrac: []float64{1.5}}, {ID: 1}},
+		Roots: []int{0},
+	}
+	assertInvalid(t, g, "spawn fraction")
+	g = &Graph{
+		Tasks: []Task{{ID: 0, Children: []int{1}, SpawnFrac: []float64{0.5, 0.7}}, {ID: 1}},
+		Roots: []int{0},
+	}
+	assertInvalid(t, g, "spawn fractions for")
+}
+
+func TestValidateCatchesDuplicateRoot(t *testing.T) {
+	g := &Graph{Tasks: []Task{{ID: 0}}, Roots: []int{0, 0}}
+	assertInvalid(t, g, "listed twice")
+}
+
+func TestBuilderChildOfUnknownParentPanics(t *testing.T) {
+	b := NewBuilder("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	b.Child(3, Task{})
+}
+
+// Property: graphs built through the Builder always validate, for random
+// forest shapes.
+func TestBuilderAlwaysValid(t *testing.T) {
+	f := func(shape []uint8) bool {
+		b := NewBuilder("prop")
+		var ids []int
+		for _, s := range shape {
+			t := Task{CostNS: int64(s), Flexible: s%2 == 0}
+			if len(ids) == 0 || s%3 == 0 {
+				ids = append(ids, b.Root(t))
+			} else {
+				parent := ids[int(s)%len(ids)]
+				ids = append(ids, b.Child(parent, t))
+			}
+		}
+		_, err := b.Graph()
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertInvalid(t *testing.T, g *Graph, wantSubstr string) {
+	t.Helper()
+	err := g.Validate()
+	if err == nil {
+		t.Fatalf("Validate should fail (want %q)", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("Validate error = %q, want substring %q", err, wantSubstr)
+	}
+}
