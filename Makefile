@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench chaos
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate a change must pass before merging.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# Fault-injection suite only (also part of `test`).
+chaos:
+	$(GO) test -v -run 'Chaos|Crash|Fault|Lossy|Drop|Evict|Await|PlaceDown|Spike|Rehom|DownSet|Injector|Plan' \
+		. ./internal/fault/ ./internal/comm/ ./internal/sim/ ./internal/core/

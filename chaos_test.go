@@ -1,0 +1,123 @@
+// Chaos tests: the full application suite must survive a seeded fault
+// plan — one place of four crashing mid-run plus 1% steal-message loss —
+// under both the paper's DistWS policy and the X10WS baseline, with
+// deterministic fault accounting in the simulator.
+package distws_test
+
+import (
+	"testing"
+
+	"distws"
+	"distws/internal/apps/suite"
+	"distws/internal/fault"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func chaosCluster() topology.Cluster {
+	c := topology.Paper()
+	c.Places, c.WorkersPerPlace = 4, 2
+	return c
+}
+
+func chaosPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed:     42,
+		DropProb: 0.01,
+		Crashes:  []fault.Crash{{Place: 1, AtVirtualNS: 2_000_000}},
+	}
+}
+
+// TestChaosSimSuite drives every paper-suite trace plus UTS through the
+// simulator under the chaos plan: all tasks must still execute, each run
+// must be bit-identical for a fixed seed, and the DistWS runs in aggregate
+// must exercise the full fault machinery.
+func TestChaosSimSuite(t *testing.T) {
+	cl := chaosCluster()
+	apps := append(suite.Paper(suite.Small, 1), suite.UTS(1))
+	for _, k := range []sched.Kind{sched.DistWS, sched.X10WS} {
+		var timeouts, retries, reExecuted, lost int64
+		for _, app := range apps {
+			g, err := app.Trace(cl.Places)
+			if err != nil {
+				t.Fatalf("%s trace: %v", app.Name(), err)
+			}
+			opts := sim.Options{Seed: 7, Fault: chaosPlan()}
+			a, err := sim.Run(g, cl, k, opts)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", app.Name(), k, err)
+			}
+			if int(a.Counters.TasksExecuted) != g.NumTasks() {
+				t.Errorf("%s under %v: executed %d of %d tasks",
+					app.Name(), k, a.Counters.TasksExecuted, g.NumTasks())
+			}
+			b, err := sim.Run(g, cl, k, opts)
+			if err != nil {
+				t.Fatalf("%s rerun: %v", app.Name(), err)
+			}
+			if a.MakespanNS != b.MakespanNS || a.Counters != b.Counters {
+				t.Errorf("%s under %v: chaos run is nondeterministic", app.Name(), k)
+			}
+			timeouts += a.Counters.StealTimeouts
+			retries += a.Counters.Retries
+			reExecuted += a.Counters.TasksReExecuted
+			lost += a.Counters.PlacesLost
+		}
+		if lost == 0 {
+			t.Errorf("under %v no run recorded the planned crash", k)
+		}
+		if k == sched.DistWS {
+			// Only policies with remote steals can lose steal messages.
+			if timeouts == 0 || retries == 0 {
+				t.Errorf("DistWS suite under 1%% loss: timeouts=%d retries=%d, want > 0",
+					timeouts, retries)
+			}
+			if reExecuted == 0 {
+				t.Errorf("DistWS suite: the mid-run crash re-executed no tasks")
+			}
+		}
+	}
+}
+
+// TestChaosRuntimeApps runs real applications on the goroutine runtime
+// with a place crashing early, checking results against the sequential
+// reference. Exercises the public facade's fault types.
+func TestChaosRuntimeApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-runtime chaos run")
+	}
+	for _, name := range []string{"quicksort", "kmeans"} {
+		for _, pol := range []distws.Policy{distws.DistWS, distws.X10WS} {
+			app, err := suite.ByName(name, suite.Small, 1)
+			if err != nil {
+				t.Fatalf("ByName(%s): %v", name, err)
+			}
+			rt, err := distws.New(distws.Config{
+				Cluster: distws.Cluster{Places: 4, WorkersPerPlace: 2},
+				Policy:  pol,
+				Seed:    7,
+				Fault: &distws.FaultPlan{
+					Seed:     42,
+					DropProb: 0.01,
+					Crashes:  []distws.Crash{{Place: 1, AfterTasks: 3}},
+				},
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			got, err := app.Parallel(rt)
+			if err != nil {
+				rt.Shutdown()
+				t.Fatalf("%s under %v: %v", name, pol, err)
+			}
+			if want := app.Sequential(); got != want {
+				t.Errorf("%s under %v: checksum %x, want %x", name, pol, got, want)
+			}
+			if s := rt.Metrics(); s.PlacesLost != 1 {
+				t.Errorf("%s under %v: PlacesLost = %d, want 1", name, pol, s.PlacesLost)
+			}
+			rt.Shutdown()
+		}
+	}
+}

@@ -16,6 +16,7 @@ package main
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -84,24 +85,138 @@ func main() {
 
 func run() error {
 	var (
-		place   = flag.Int("place", 0, "this node's place id (0 = coordinator)")
-		places  = flag.Int("places", 3, "total places (coordinator only)")
-		addr    = flag.String("addr", "127.0.0.1:4242", "coordinator address")
-		batches = flag.Int("batches", 64, "π batches to dispatch (coordinator only)")
-		batchSz = flag.Int("batch-size", 200_000, "samples per batch")
-		seed    = flag.Int64("seed", 1, "sampling seed")
-		workers = flag.Int("workers", 2, "local workers per node")
+		place      = flag.Int("place", 0, "this node's place id (0 = coordinator)")
+		places     = flag.Int("places", 3, "total places (coordinator only)")
+		addr       = flag.String("addr", "127.0.0.1:4242", "coordinator address")
+		batches    = flag.Int("batches", 64, "π batches to dispatch (coordinator only)")
+		batchSz    = flag.Int("batch-size", 200_000, "samples per batch")
+		seed       = flag.Int64("seed", 1, "sampling seed")
+		workers    = flag.Int("workers", 2, "local workers per node")
+		joinWait   = flag.Duration("join-timeout", 30*time.Second, "how long the coordinator waits for spokes")
+		batchWait  = flag.Duration("batch-timeout", 5*time.Second, "silence before outstanding batches are re-sent")
+		crashAfter = flag.Int("crash-after", 0, "fail-stop this node after N batches (0 = never; chaos demo)")
 	)
 	flag.Parse()
 
 	if *place == 0 {
-		return coordinate(*addr, *places, *batches, *batchSz, *seed, *workers)
+		return coordinate(*addr, *places, *batches, *batchSz, *seed, *workers, *joinWait, *batchWait)
 	}
-	return serve(*addr, *place, *workers)
+	return serve(*addr, *place, *workers, *crashAfter)
 }
 
-// coordinate runs place 0: accept spokes, dispatch batches, gather results.
-func coordinate(addr string, places, batches, batchSize int, seed int64, workers int) error {
+// coordinator is the resilient-finish state of place 0: it tracks which
+// batch is outstanding at which place, re-dispatches when a place dies or
+// goes silent, and deduplicates results so at-least-once dispatch still
+// sums every batch exactly once.
+type coordinator struct {
+	hub    *comm.Hub
+	local  *core.Runtime
+	ctrs   *metrics.Counters
+	places int
+
+	alive       []bool
+	outstanding map[int]map[int]piArgs // place -> batch -> args
+	got         map[int]bool           // batches whose result is summed
+	pending     int
+	totalInside int
+}
+
+// dispatch sends batch b to the first alive place at or after preferred
+// (skipping the coordinator), executing locally when no spoke survives.
+func (c *coordinator) dispatch(b int, args piArgs, preferred int) error {
+	for try := 0; try < c.places; try++ {
+		dest := (preferred + try) % c.places
+		if dest == 0 || !c.alive[dest] {
+			continue
+		}
+		env := &task.Envelope{Name: "demo.pi", Arg: encode(args), Home: dest, Origin: 0, Class: task.Flexible}
+		payload, err := env.Encode()
+		if err != nil {
+			return err
+		}
+		err = c.hub.Send(comm.Message{Kind: comm.KindSpawn, To: dest, Seq: uint64(b), Payload: payload})
+		if errors.Is(err, comm.ErrPlaceDown) {
+			if err := c.markDown(dest); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if c.outstanding[dest] == nil {
+			c.outstanding[dest] = make(map[int]piArgs)
+		}
+		c.outstanding[dest][b] = args
+		return nil
+	}
+	n, err := runLocalBatch(c.local, args)
+	if err != nil {
+		return err
+	}
+	c.finish(b, n)
+	return nil
+}
+
+// markDown records a place's failure and re-dispatches every batch that was
+// outstanding there.
+func (c *coordinator) markDown(p int) error {
+	if p <= 0 || p >= c.places || !c.alive[p] {
+		return nil
+	}
+	c.alive[p] = false
+	c.ctrs.PlacesLost.Add(1)
+	orphans := c.outstanding[p]
+	delete(c.outstanding, p)
+	fmt.Printf("coordinator: place %d down, re-dispatching %d batch(es)\n", p, len(orphans))
+	for b, args := range orphans {
+		c.ctrs.TasksReExecuted.Add(1)
+		if err := c.dispatch(b, args, p+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retryOutstanding re-sends every outstanding batch after a silent period —
+// the per-request timeout of the dispatch protocol.
+func (c *coordinator) retryOutstanding() error {
+	type entry struct {
+		place, batch int
+		args         piArgs
+	}
+	var stale []entry
+	for p, m := range c.outstanding {
+		for b, args := range m {
+			stale = append(stale, entry{p, b, args})
+		}
+	}
+	for _, e := range stale {
+		if c.got[e.batch] {
+			continue // completed while we were resending
+		}
+		c.ctrs.Retries.Add(1)
+		delete(c.outstanding[e.place], e.batch)
+		if err := c.dispatch(e.batch, e.args, e.place); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish sums a batch result exactly once.
+func (c *coordinator) finish(b, inside int) {
+	if c.got[b] {
+		return
+	}
+	c.got[b] = true
+	c.totalInside += inside
+	c.pending--
+}
+
+// coordinate runs place 0: accept spokes, dispatch batches, gather results,
+// surviving spoke crashes and lost messages.
+func coordinate(addr string, places, batches, batchSize int, seed int64, workers int, joinWait, batchWait time.Duration) error {
 	var ctrs metrics.Counters
 	hub, err := comm.ListenHub(addr, places, &ctrs)
 	if err != nil {
@@ -109,7 +224,9 @@ func coordinate(addr string, places, batches, batchSize int, seed int64, workers
 	}
 	defer hub.Close()
 	fmt.Printf("coordinator: listening on %s, waiting for %d node(s)\n", hub.Addr(), places-1)
-	hub.Await()
+	if err := hub.AwaitTimeout(joinWait); err != nil {
+		return err
+	}
 	fmt.Println("coordinator: cluster complete, dispatching")
 
 	start := time.Now()
@@ -121,60 +238,85 @@ func coordinate(addr string, places, batches, batchSize int, seed int64, workers
 	}
 	defer local.Shutdown()
 
-	inflight := 0
-	localInside := 0
+	c := &coordinator{
+		hub:         hub,
+		local:       local,
+		ctrs:        &ctrs,
+		places:      places,
+		alive:       make([]bool, places),
+		outstanding: make(map[int]map[int]piArgs),
+		got:         make(map[int]bool),
+		pending:     batches,
+	}
+	for p := 1; p < places; p++ {
+		c.alive[p] = true
+	}
+
 	for b := 0; b < batches; b++ {
-		dest := b % places
 		args := piArgs{Batch: b, BatchSize: batchSize, Seed: seed}
-		if dest == 0 {
+		if b%places == 0 {
 			n, err := runLocalBatch(local, args)
 			if err != nil {
 				return err
 			}
-			localInside += n
+			c.finish(b, n)
 			continue
 		}
-		env := &task.Envelope{Name: "demo.pi", Arg: encode(args), Home: dest, Origin: 0, Class: task.Flexible}
-		payload, err := env.Encode()
-		if err != nil {
+		if err := c.dispatch(b, args, b%places); err != nil {
 			return err
 		}
-		if err := hub.Send(comm.Message{Kind: comm.KindSpawn, To: dest, Seq: uint64(b), Payload: payload}); err != nil {
-			return err
-		}
-		inflight++
 	}
 
-	totalInside := localInside
-	samples := batches * batchSize
-	for inflight > 0 {
-		m, ok := <-hub.Inbox()
-		if !ok {
-			return fmt.Errorf("hub inbox closed with %d batches outstanding", inflight)
+	for c.pending > 0 {
+		select {
+		case m, ok := <-hub.Inbox():
+			if !ok {
+				return fmt.Errorf("hub inbox closed with %d batches outstanding", c.pending)
+			}
+			switch m.Kind {
+			case comm.KindPlaceDown:
+				if err := c.markDown(m.From); err != nil {
+					return err
+				}
+			case comm.KindSpawnDone:
+				var res piResult
+				if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&res); err != nil {
+					return err
+				}
+				if om := c.outstanding[m.From]; om != nil {
+					delete(om, res.Batch)
+				}
+				c.finish(res.Batch, res.Inside)
+			}
+		case <-time.After(batchWait):
+			fmt.Printf("coordinator: no progress for %v, re-sending %d batch(es)\n", batchWait, c.pending)
+			if err := c.retryOutstanding(); err != nil {
+				return err
+			}
 		}
-		if m.Kind != comm.KindSpawnDone {
-			continue
-		}
-		var res piResult
-		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&res); err != nil {
-			return err
-		}
-		totalInside += res.Inside
-		inflight--
 	}
-	// Tell the nodes to exit.
+	// Tell the surviving nodes to exit.
 	for p := 1; p < places; p++ {
-		hub.Send(comm.Message{Kind: comm.KindShutdown, To: p})
+		if c.alive[p] {
+			hub.Send(comm.Message{Kind: comm.KindShutdown, To: p})
+		}
 	}
-	pi := 4 * float64(totalInside) / float64(samples)
+	samples := batches * batchSize
+	pi := 4 * float64(c.totalInside) / float64(samples)
 	s := ctrs.Snapshot()
 	fmt.Printf("π ≈ %.6f from %d samples over %d places in %v (%d messages, %d bytes)\n",
 		pi, samples, places, time.Since(start).Round(time.Millisecond), s.Messages, s.BytesTransferred)
+	if s.PlacesLost > 0 {
+		fmt.Printf("recovered from %d place failure(s): %d batches re-dispatched, %d retried\n",
+			s.PlacesLost, s.TasksReExecuted, s.Retries)
+	}
 	return nil
 }
 
 // serve runs a non-coordinator place: execute arriving spawns locally.
-func serve(addr string, place, workers int) error {
+// When crashAfter > 0 the node fail-stops (drops its connection without a
+// goodbye) after that many batches, exercising the coordinator's recovery.
+func serve(addr string, place, workers, crashAfter int) error {
 	var ctrs metrics.Counters
 	spoke, err := comm.DialSpoke(addr, place, &ctrs)
 	if err != nil {
@@ -216,6 +358,10 @@ func serve(addr string, place, workers int) error {
 				return err
 			}
 			done++
+			if crashAfter > 0 && done >= crashAfter {
+				fmt.Printf("node %d: fail-stop after %d batches\n", place, done)
+				return nil
+			}
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@
 //
 //	distws-run -app dmg -policy distws -mode sim -places 16 -workers 8
 //	distws-run -app quicksort -policy x10ws -mode runtime -places 4 -workers 2
+//	distws-run -app uts -mode sim -places 4 -workers 2 -crash-place 1 -crash-at 2ms -drop 0.01
 //	distws-run -list
 package main
 
@@ -20,6 +21,7 @@ import (
 	"distws/internal/apps"
 	"distws/internal/apps/suite"
 	"distws/internal/core"
+	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/sched"
 	"distws/internal/sim"
@@ -43,6 +45,12 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale   = flag.Int("scale", 1, "workload scale multiplier")
 		list    = flag.Bool("list", false, "list available applications and exit")
+
+		crashPlace = flag.Int("crash-place", -1, "place to crash mid-run (-1 = none)")
+		crashAt    = flag.Duration("crash-at", 0, "virtual time of the crash (sim mode)")
+		crashAfter = flag.Int64("crash-after-tasks", 0, "crash after this many tasks at the place (runtime mode)")
+		dropProb   = flag.Float64("drop", 0, "steal message drop probability [0,1]")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault injector")
 	)
 	flag.Parse()
 
@@ -67,17 +75,29 @@ func run() error {
 		return err
 	}
 
+	var plan *fault.Plan
+	if *crashPlace >= 0 || *dropProb > 0 {
+		plan = &fault.Plan{Seed: *faultSeed, DropProb: *dropProb}
+		if *crashPlace >= 0 {
+			plan.Crashes = []fault.Crash{{
+				Place:       *crashPlace,
+				AtVirtualNS: crashAt.Nanoseconds(),
+				AfterTasks:  *crashAfter,
+			}}
+		}
+	}
+
 	switch *mode {
 	case "sim":
-		return runSim(app, cl, k, *seed)
+		return runSim(app, cl, k, *seed, plan)
 	case "runtime":
-		return runRuntime(app, cl, k, *seed)
+		return runRuntime(app, cl, k, *seed, plan)
 	default:
 		return fmt.Errorf("unknown mode %q (want sim or runtime)", *mode)
 	}
 }
 
-func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64) error {
+func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan) error {
 	start := time.Now()
 	g, err := app.Trace(cl.Places)
 	if err != nil {
@@ -85,7 +105,7 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64) error {
 	}
 	genTime := time.Since(start)
 	start = time.Now()
-	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed})
+	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed, Fault: plan})
 	if err != nil {
 		return err
 	}
@@ -106,10 +126,10 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64) error {
 	return w.Flush()
 }
 
-func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64) error {
+func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan) error {
 	fmt.Printf("%s under %s on %s (real runtime; place count bounded by this host)\n\n", app.Name(), k, cl)
 	want := app.Sequential()
-	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed})
+	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed, Fault: plan})
 	if err != nil {
 		return err
 	}
@@ -147,5 +167,9 @@ func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
 	fmt.Fprintf(w, "migrated tasks\t%d (remote refs %d)\n", s.TasksMigrated, s.RemoteDataAccess)
 	if s.CacheRefs > 0 {
 		fmt.Fprintf(w, "modelled L1d miss rate\t%.1f%%\n", s.CacheMissRate())
+	}
+	if s.PlacesLost > 0 || s.StealTimeouts > 0 || s.DroppedMessages > 0 {
+		fmt.Fprintf(w, "faults\t%d places lost, %d tasks re-executed, %d steal timeouts, %d retries, %d dropped messages\n",
+			s.PlacesLost, s.TasksReExecuted, s.StealTimeouts, s.Retries, s.DroppedMessages)
 	}
 }

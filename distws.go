@@ -40,6 +40,7 @@ package distws
 
 import (
 	"distws/internal/core"
+	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/sched"
 	"distws/internal/task"
@@ -64,6 +65,13 @@ type (
 	Class = task.Class
 	// Metrics is a point-in-time snapshot of runtime counters.
 	Metrics = metrics.Snapshot
+	// FaultPlan injects deterministic failures (place crashes, steal
+	// message loss, latency spikes) via Config.Fault. Nil means fault-free.
+	FaultPlan = fault.Plan
+	// Crash schedules one place failure inside a FaultPlan.
+	Crash = fault.Crash
+	// FaultLink overrides drop/spike behaviour for one directed link.
+	FaultLink = fault.Link
 )
 
 // Scheduling policies.

@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"distws/internal/fault"
 	"distws/internal/metrics"
 )
 
@@ -54,6 +56,12 @@ var kindNames = [...]string{
 
 // String names the kind for diagnostics.
 func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindPlaceDown:
+		return "place-down"
+	}
 	if int(k) < len(kindNames) {
 		return kindNames[k]
 	}
@@ -71,6 +79,25 @@ type Message struct {
 
 // ErrClosed is returned by Send after the endpoint has been closed.
 var ErrClosed = errors.New("comm: endpoint closed")
+
+// ErrPlaceDown is the sentinel for routing to a place whose connection has
+// failed. Match with errors.Is; the concrete error is a *PlaceDownError
+// carrying the place id.
+var ErrPlaceDown = errors.New("comm: place down")
+
+// PlaceDownError reports which place was unreachable.
+type PlaceDownError struct{ Place int }
+
+func (e *PlaceDownError) Error() string { return fmt.Sprintf("comm: place %d down", e.Place) }
+
+// Is makes errors.Is(err, ErrPlaceDown) match.
+func (e *PlaceDownError) Is(target error) bool { return target == ErrPlaceDown }
+
+// lossy reports whether injected message loss may apply to k. Only the
+// steal protocol tolerates silent loss (the thief times out and retries);
+// spawn, completion, and control traffic must be delivered for finish
+// accounting to terminate.
+func lossy(k Kind) bool { return k == KindStealReq || k == KindStealResp }
 
 // Endpoint is one place's attachment to the transport.
 type Endpoint interface {
@@ -90,6 +117,7 @@ type Endpoint interface {
 // channels. It is safe for concurrent use.
 type Mesh struct {
 	counters *metrics.Counters
+	inj      *fault.Injector // nil-safe; set via InjectFaults
 	mu       sync.Mutex
 	inboxes  []chan Message
 	closed   []bool
@@ -126,6 +154,11 @@ func (m *Mesh) Endpoint(p int) Endpoint {
 // Places returns the number of endpoints in the mesh.
 func (m *Mesh) Places() int { return len(m.inboxes) }
 
+// InjectFaults arms the mesh with a fault injector: steal messages may be
+// silently dropped (the sender's timeout recovers) and any message may be
+// delayed by a latency spike. Call before traffic starts; nil disarms.
+func (m *Mesh) InjectFaults(inj *fault.Injector) { m.inj = inj }
+
 func (m *Mesh) send(msg Message) (err error) {
 	if msg.To < 0 || msg.To >= len(m.inboxes) {
 		return fmt.Errorf("comm: send to invalid place %d", msg.To)
@@ -138,6 +171,17 @@ func (m *Mesh) send(msg Message) (err error) {
 	inbox := m.inboxes[msg.To]
 	m.mu.Unlock()
 
+	if msg.From != msg.To {
+		if lossy(msg.Kind) && m.inj.Drop(msg.From, msg.To) {
+			if m.counters != nil {
+				m.counters.DroppedMessages.Add(1)
+			}
+			return nil // lost in transit; delivery is the sender's problem
+		}
+		if ns := m.inj.SpikeNS(msg.From, msg.To); ns > 0 {
+			time.Sleep(time.Duration(ns))
+		}
+	}
 	if m.counters != nil && msg.From != msg.To {
 		m.counters.Messages.Add(1)
 		m.counters.BytesTransferred.Add(int64(len(msg.Payload)))

@@ -5,13 +5,20 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"distws/internal/fault"
 	"distws/internal/metrics"
 )
 
 // KindHello is the handshake message a spoke sends right after dialing the
 // hub; From carries the spoke's place id.
 const KindHello Kind = 200
+
+// KindPlaceDown is a synthetic message the hub delivers to its own inbox
+// when a spoke's connection fails; From carries the dead place's id. It
+// never travels on the wire.
+const KindPlaceDown Kind = 201
 
 // tcpConn wraps a net.Conn with gob framing and a write lock.
 type tcpConn struct {
@@ -45,9 +52,11 @@ type Hub struct {
 	ln       net.Listener
 	places   int
 	counters *metrics.Counters
+	inj      *fault.Injector // nil-safe; set via InjectFaults
 
 	mu     sync.Mutex
 	conns  map[int]*tcpConn
+	down   map[int]bool // spokes evicted after a connection failure
 	closed bool
 
 	inbox chan Message
@@ -70,6 +79,7 @@ func ListenHub(addr string, places int, counters *metrics.Counters) (*Hub, error
 		places:   places,
 		counters: counters,
 		conns:    make(map[int]*tcpConn),
+		down:     make(map[int]bool),
 		inbox:    make(chan Message, 1024),
 		ready:    make(chan struct{}),
 	}
@@ -80,8 +90,35 @@ func ListenHub(addr string, places int, counters *metrics.Counters) (*Hub, error
 // Addr returns the hub's listening address (useful with ":0").
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
 
-// Await blocks until every spoke has joined.
+// Await blocks until every spoke has joined. Prefer AwaitTimeout: if a
+// spoke never dials (crashed before the handshake), Await blocks forever.
 func (h *Hub) Await() { <-h.ready }
+
+// AwaitTimeout waits up to d for every spoke to join, reporting how many
+// made it if the deadline passes.
+func (h *Hub) AwaitTimeout(d time.Duration) error {
+	select {
+	case <-h.ready:
+		return nil
+	case <-time.After(d):
+		h.mu.Lock()
+		joined := len(h.conns)
+		h.mu.Unlock()
+		return fmt.Errorf("comm: %d of %d spokes joined within %v", joined, h.places-1, d)
+	}
+}
+
+// InjectFaults arms the hub with a fault injector: steal messages may be
+// silently dropped and any routed message may be delayed by a latency
+// spike. Call before traffic starts; nil disarms.
+func (h *Hub) InjectFaults(inj *fault.Injector) { h.inj = inj }
+
+// Down reports whether place p's connection has failed and been evicted.
+func (h *Hub) Down(p int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down[p]
+}
 
 func (h *Hub) acceptLoop() {
 	for {
@@ -100,7 +137,9 @@ func (h *Hub) handshake(tc *tcpConn) {
 		return
 	}
 	h.mu.Lock()
-	if h.closed || hello.From <= 0 || hello.From >= h.places || h.conns[hello.From] != nil {
+	if h.closed || hello.From <= 0 || hello.From >= h.places ||
+		h.conns[hello.From] != nil || h.down[hello.From] {
+		// Fail-stop model: an evicted place may not rejoin.
 		h.mu.Unlock()
 		tc.conn.Close()
 		return
@@ -115,6 +154,7 @@ func (h *Hub) handshake(tc *tcpConn) {
 }
 
 func (h *Hub) readLoop(from int, tc *tcpConn) {
+	defer h.evict(from, tc)
 	for {
 		m, err := tc.read()
 		if err != nil {
@@ -137,22 +177,56 @@ func (h *Hub) deliverLocal(m Message) {
 	h.inbox <- m
 }
 
+// evict removes a spoke whose connection failed, so later routes error
+// instead of writing into a dead socket, and posts a synthetic
+// KindPlaceDown to the hub inbox so the node layer can start recovery.
+// No-op during shutdown or if the spoke was already replaced/evicted.
+func (h *Hub) evict(place int, tc *tcpConn) {
+	h.mu.Lock()
+	if h.closed || h.conns[place] != tc {
+		h.mu.Unlock()
+		return
+	}
+	delete(h.conns, place)
+	h.down[place] = true
+	h.mu.Unlock()
+	tc.conn.Close()
+	h.deliverLocal(Message{Kind: KindPlaceDown, From: place, To: 0})
+}
+
 func (h *Hub) route(m Message) error {
 	h.mu.Lock()
 	tc := h.conns[m.To]
+	downDst := h.down[m.To]
 	closed := h.closed
 	h.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
+	if downDst {
+		return &PlaceDownError{Place: m.To}
+	}
 	if tc == nil {
 		return fmt.Errorf("comm: no route to place %d", m.To)
+	}
+	if lossy(m.Kind) && h.inj.Drop(m.From, m.To) {
+		if h.counters != nil {
+			h.counters.DroppedMessages.Add(1)
+		}
+		return nil
+	}
+	if ns := h.inj.SpikeNS(m.From, m.To); ns > 0 {
+		time.Sleep(time.Duration(ns))
 	}
 	if h.counters != nil {
 		h.counters.Messages.Add(1)
 		h.counters.BytesTransferred.Add(int64(len(m.Payload)))
 	}
-	return tc.write(m)
+	if err := tc.write(m); err != nil {
+		h.evict(m.To, tc)
+		return &PlaceDownError{Place: m.To}
+	}
+	return nil
 }
 
 // Place implements Endpoint: the hub is always place 0.
@@ -195,6 +269,7 @@ type Spoke struct {
 	place    int
 	tc       *tcpConn
 	counters *metrics.Counters
+	inj      *fault.Injector // nil-safe; set via InjectFaults
 	inbox    chan Message
 	once     sync.Once
 }
@@ -240,9 +315,22 @@ func (s *Spoke) closeInbox() {
 // Place implements Endpoint.
 func (s *Spoke) Place() int { return s.place }
 
+// InjectFaults arms the spoke's sends with a fault injector. Call before
+// traffic starts; nil disarms.
+func (s *Spoke) InjectFaults(inj *fault.Injector) { s.inj = inj }
+
 // Send implements Endpoint. All traffic goes via the hub.
 func (s *Spoke) Send(m Message) error {
 	m.From = s.place
+	if lossy(m.Kind) && s.inj.Drop(m.From, m.To) {
+		if s.counters != nil {
+			s.counters.DroppedMessages.Add(1)
+		}
+		return nil
+	}
+	if ns := s.inj.SpikeNS(m.From, m.To); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
 	if s.counters != nil {
 		s.counters.Messages.Add(1)
 		s.counters.BytesTransferred.Add(int64(len(m.Payload)))

@@ -38,6 +38,13 @@ type place struct {
 	active       atomic.Bool
 	failedSweeps atomic.Int32
 
+	// dead marks a fail-stopped place (fault injection): workers exit,
+	// thieves exclude it, and queued work is re-homed to survivors.
+	dead atomic.Bool
+	// executed counts activities completed here, for the fault plan's
+	// AfterTasks crash trigger.
+	executed atomic.Int64
+
 	// lifelineWaiters holds place ids registered on this place's incoming
 	// lifelines (LifelineWS only); a bit set per place.
 	lifelineWaiters []atomic.Bool
@@ -113,6 +120,12 @@ func (p *place) enqueue(a *activity, target sched.Target, spawner *worker) {
 		w.priv.Push(a)
 	}
 	p.wakeAll()
+	// A spawn racing the place's crash may land after the crash drain:
+	// crashPlace sets dead before draining, so re-checking here and
+	// re-draining guarantees the activity is not stranded.
+	if p.dead.Load() {
+		p.rt.rescue(p)
+	}
 }
 
 // enqueueStolen inserts tasks obtained by a distributed steal into this
@@ -126,6 +139,9 @@ func (p *place) enqueueStolen(chunk []*activity) {
 	p.active.Store(true)
 	p.failedSweeps.Store(0)
 	p.wakeAll()
+	if p.dead.Load() {
+		p.rt.rescue(p)
+	}
 }
 
 // wakeAll nudges every idle worker at the place.
@@ -140,7 +156,8 @@ func (p *place) wakeAll() {
 }
 
 // serveLifelines pushes surplus shared-deque work to places that have
-// registered on this place's lifelines (LifelineWS only).
+// registered on this place's lifelines (LifelineWS only). Waiters that
+// crashed after registering are dropped rather than served.
 func (p *place) serveLifelines() {
 	if p.rt.cfg.Policy != sched.LifelineWS {
 		return
@@ -150,6 +167,9 @@ func (p *place) serveLifelines() {
 			return
 		}
 		if !p.lifelineWaiters[q].Swap(false) {
+			continue
+		}
+		if p.rt.places[q].dead.Load() {
 			continue
 		}
 		if a, ok := p.shared.Poll(); ok {
@@ -194,11 +214,12 @@ type worker struct {
 	rng   *rand.Rand
 }
 
-// loop is Algorithm 1 lines 9–29.
+// loop is Algorithm 1 lines 9–29. A worker whose place fail-stops exits
+// the loop: the crash model is fail-stop at the next scheduling point.
 func (w *worker) loop() {
 	rt := w.place.rt
 	defer rt.workerWG.Done()
-	for !rt.shutdown.Load() {
+	for !rt.shutdown.Load() && !w.place.dead.Load() {
 		a, how := w.findWork()
 		if a == nil {
 			w.place.noteFailedSweep()
@@ -229,6 +250,11 @@ const (
 // findWork performs one sweep of the Algorithm-1 work-finding order.
 func (w *worker) findWork() (*activity, stealKind) {
 	p := w.place
+	// A dead place schedules nothing: its queues were drained by the
+	// crash and survivors own the work now.
+	if p.dead.Load() {
+		return nil, tookOwn
+	}
 	// 1. Own private deque (line 9).
 	if a, ok := w.priv.Pop(); ok {
 		p.queued.Add(-1)
@@ -259,15 +285,19 @@ func (w *worker) findWork() (*activity, stealKind) {
 // stealRemote sweeps remote places' shared deques in randomized order,
 // taking a chunk from the first victim with surplus. The first task is
 // returned for execution; the remainder go to the thief place's shared
-// deque. Every probe is a request/reply message pair.
+// deque. Every probe is a request/reply message pair. Places marked down
+// are excluded from the sweep, and a probe lost to an injected link fault
+// costs the thief a steal timeout followed by retries under exponential
+// backoff with jitter.
 func (w *worker) stealRemote() *activity {
 	rt := w.place.rt
 	chunkSize := sched.RemoteChunk(rt.cfg.Policy)
 	for _, v := range sched.VictimOrder(rt.cfg.Policy, w.place.id, len(rt.places), w.rng) {
 		victim := rt.places[v]
-		rt.counters.RemoteProbes.Add(1)
-		rt.counters.Messages.Add(2) // steal-req + steal-resp
-		chunk := victim.shared.StealChunk(chunkSize)
+		if victim.dead.Load() {
+			continue
+		}
+		chunk := w.probeVictim(victim, chunkSize)
 		if chunk == nil {
 			continue
 		}
@@ -287,11 +317,64 @@ func (w *worker) stealRemote() *activity {
 	return nil
 }
 
+// probeVictim performs the steal request/reply round trip against one
+// victim. When fault injection loses the request or the reply, the thief
+// waits out one steal timeout, then retries under exponential backoff
+// with jitter, up to Config.StealMaxAttempts requests, before giving the
+// victim up for this sweep.
+func (w *worker) probeVictim(victim *place, chunkSize int) []*activity {
+	rt := w.place.rt
+	for attempt := 0; ; attempt++ {
+		rt.counters.RemoteProbes.Add(1)
+		rt.counters.Messages.Add(2) // steal-req + steal-resp
+		if rt.inj.Drop(w.place.id, victim.id) || rt.inj.Drop(victim.id, w.place.id) {
+			rt.counters.DroppedMessages.Add(1)
+			rt.counters.StealTimeouts.Add(1)
+			if attempt+1 >= rt.cfg.StealMaxAttempts {
+				return nil
+			}
+			rt.counters.Retries.Add(1)
+			time.Sleep(backoffJitter(rt.cfg.StealTimeout, attempt, w.rng))
+			if victim.dead.Load() || rt.shutdown.Load() {
+				return nil
+			}
+			continue
+		}
+		if spike := rt.inj.SpikeNS(w.place.id, victim.id); spike > 0 {
+			time.Sleep(time.Duration(spike))
+		}
+		return victim.shared.StealChunk(chunkSize)
+	}
+}
+
+// backoffJitter returns the wait before retry attempt (0-based): the base
+// timeout doubled per attempt, with full jitter in [d/2, d) so racing
+// thieves desynchronize.
+func backoffJitter(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base << attempt
+	if d <= 0 {
+		return base
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
 // registerLifelines marks this place on its hypercube lifeline neighbours
-// (LifelineWS) so they push surplus work here.
+// (LifelineWS) so they push surplus work here. A crashed neighbour is
+// re-homed: the registration goes to the next surviving place, keeping
+// the lifeline graph connected as places fail.
 func (w *worker) registerLifelines() {
 	rt := w.place.rt
 	for _, q := range sched.Lifelines(w.place.id, len(rt.places)) {
+		if rt.places[q].dead.Load() {
+			q = rt.down.NextAlive(q + 1)
+			if q < 0 || q == w.place.id {
+				continue
+			}
+		}
 		neighbour := rt.places[q]
 		if !neighbour.lifelineWaiters[w.place.id].Swap(true) {
 			rt.counters.Messages.Add(1) // lifeline registration message
@@ -344,4 +427,9 @@ func (w *worker) run(a *activity, how stealKind) {
 	rt.util.AddBusy(p.id, time.Since(start).Nanoseconds())
 	rt.counters.TasksExecuted.Add(1)
 	p.running.Add(-1)
+
+	// Fault plan: fail-stop this place once it has executed its quota.
+	if n, ok := rt.inj.CrashAfterTasks(p.id); ok && p.executed.Add(1) >= n {
+		rt.crashPlace(p)
+	}
 }

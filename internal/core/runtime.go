@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/sched"
 	"distws/internal/task"
@@ -47,6 +48,18 @@ type Config struct {
 	// LockFreeDeques selects Chase–Lev lock-free private deques instead
 	// of the default mutex-guarded ones.
 	LockFreeDeques bool
+	// Fault injects failures: place crashes after a task count, message
+	// loss and latency spikes on the remote-steal path. Nil runs
+	// fault-free. A crashed place fail-stops (its workers exit after the
+	// activity they are running); queued work is re-homed to survivors.
+	Fault *fault.Plan
+	// StealTimeout is how long a thief waits before declaring a remote
+	// steal round trip lost; it is also the base of the exponential
+	// backoff between retries. Defaults to 200µs.
+	StealTimeout time.Duration
+	// StealMaxAttempts bounds the requests sent to one victim (first try
+	// plus backoff retries). Defaults to 3.
+	StealMaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +75,12 @@ func (c Config) withDefaults() Config {
 	if c.IdlePoll <= 0 {
 		c.IdlePoll = 200 * time.Microsecond
 	}
+	if c.StealTimeout <= 0 {
+		c.StealTimeout = 200 * time.Microsecond
+	}
+	if c.StealMaxAttempts <= 0 {
+		c.StealMaxAttempts = 3
+	}
 	return c
 }
 
@@ -72,6 +91,12 @@ type Runtime struct {
 	places   []*place
 	counters metrics.Counters
 	util     *metrics.Utilization
+
+	// inj evaluates the injected fault plan (nil-safe when fault-free);
+	// down records which places have failed, for victim exclusion and
+	// re-homing.
+	inj  *fault.Injector
+	down *fault.DownSet
 
 	shutdown atomic.Bool
 	workerWG sync.WaitGroup
@@ -88,9 +113,14 @@ func New(cfg Config) (*Runtime, error) {
 	if !sched.Valid(cfg.Policy) {
 		return nil, fmt.Errorf("core: invalid policy %v", cfg.Policy)
 	}
+	if err := cfg.Fault.Validate(cfg.Cluster.Places); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	rt := &Runtime{
 		cfg:     cfg,
 		util:    metrics.NewUtilization(cfg.Cluster.Places),
+		inj:     fault.NewInjector(cfg.Fault),
+		down:    fault.NewDownSet(cfg.Cluster.Places),
 		started: time.Now(),
 	}
 	rt.places = make([]*place, cfg.Cluster.Places)
@@ -158,9 +188,13 @@ func (rt *Runtime) Run(body func(*Ctx)) error {
 // spawn enqueues a (per Algorithm 1 lines 1–8). from is the spawning place
 // (-1 when spawned from outside the runtime) and spawner the spawning
 // worker (nil outside the pool); a cross-place spawn is accounted as one
-// message carrying the task payload.
+// message carrying the task payload. A spawn addressed to a crashed place
+// is re-homed to the next surviving place.
 func (rt *Runtime) spawn(a *activity, from int, spawner *worker) {
 	rt.counters.TasksSpawned.Add(1)
+	if rt.places[a.home].dead.Load() {
+		a.home = rt.down.NextAlive(a.home)
+	}
 	home := rt.places[a.home]
 	if from >= 0 && from != a.home {
 		rt.counters.Messages.Add(1)
@@ -168,6 +202,58 @@ func (rt *Runtime) spawn(a *activity, from int, spawner *worker) {
 	}
 	target := sched.MapTask(rt.cfg.Policy, a.loc.Class, home.load(), home.nextSeq())
 	home.enqueue(a, target, spawner)
+}
+
+// crashPlace fail-stops p: its workers exit after the activity they are
+// currently running, and every activity queued in its shared or private
+// deques is re-homed to surviving places and re-executed there. The
+// ordering (mark dead, then drain) together with enqueue's dead re-check
+// guarantees no activity is stranded by a racing spawn.
+func (rt *Runtime) crashPlace(p *place) {
+	if p.dead.Swap(true) {
+		return
+	}
+	rt.down.MarkDown(p.id)
+	rt.counters.PlacesLost.Add(1)
+	p.wakeAll() // idle workers notice the death and exit
+	rt.rescue(p)
+}
+
+// rescue drains everything queued at the dead place p and re-enqueues it
+// at survivors. Idempotent: deque operations hand out each activity at
+// most once, so concurrent rescuers cannot duplicate work.
+func (rt *Runtime) rescue(p *place) {
+	var orphans []*activity
+	for {
+		a, ok := p.shared.Poll()
+		if !ok {
+			break
+		}
+		orphans = append(orphans, a)
+	}
+	for _, w := range p.workers {
+		for {
+			a, ok := w.priv.Steal()
+			if !ok {
+				break
+			}
+			orphans = append(orphans, a)
+		}
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	p.queued.Add(-int32(len(orphans)))
+	for i, a := range orphans {
+		rt.counters.TasksReExecuted.Add(1)
+		// Recovery ships the task once to its new home.
+		rt.counters.Messages.Add(1)
+		rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
+		a.home = rt.down.NextAlive(p.id + 1 + i)
+		home := rt.places[a.home]
+		target := sched.MapTask(rt.cfg.Policy, a.loc.Class, home.load(), home.nextSeq())
+		home.enqueue(a, target, nil)
+	}
 }
 
 // placeLoad exposes load introspection to white-box tests.

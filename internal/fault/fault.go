@@ -1,0 +1,301 @@
+// Package fault provides the deterministic, seed-driven fault model the
+// runtime (internal/core), the transports (internal/comm) and the
+// discrete-event simulator (internal/sim) all consume. A Plan declares
+// what goes wrong — place crashes at a virtual time or task-count step,
+// per-link message loss, latency spikes — and an Injector turns the plan
+// into individual yes/no decisions.
+//
+// Decisions are stateless hashes of (seed, link, decision index), so the
+// simulator, which asks in a fixed order, gets an identical fault schedule
+// on every run with the same seed: chaos tests can assert exact counter
+// values. The real runtime asks from concurrently racing goroutines, so
+// there the plan is reproducible in distribution rather than per message.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Crash schedules the fail-stop of one place. A crashed place stops
+// executing and answering steals; work queued there must be re-executed
+// elsewhere. Exactly one of the two triggers should be set.
+type Crash struct {
+	// Place is the place that fails.
+	Place int
+	// AtVirtualNS is the crash instant in simulator virtual time
+	// (consumed by internal/sim). Zero or negative means "not
+	// time-triggered".
+	AtVirtualNS int64
+	// AfterTasks crashes the place once it has executed this many tasks
+	// (consumed by internal/core, which has no virtual clock). Zero or
+	// negative means "not step-triggered".
+	AfterTasks int64
+}
+
+// Link describes the fault behaviour of one directed place pair.
+// From/To of -1 match any place.
+type Link struct {
+	From, To int
+	// DropProb is the probability in [0,1] that a message on the link is
+	// silently lost.
+	DropProb float64
+	// SpikeProb is the probability in [0,1] that a message suffers an
+	// extra latency spike of SpikeNS.
+	SpikeProb float64
+	// SpikeNS is the spike magnitude in nanoseconds.
+	SpikeNS int64
+}
+
+// Plan is a complete declarative fault schedule for one run. The zero
+// value (and a nil *Plan) is the fault-free plan.
+type Plan struct {
+	// Seed drives every probabilistic decision. Zero picks 1.
+	Seed int64
+	// Crashes lists the places that fail and when.
+	Crashes []Crash
+	// DropProb is the cluster-wide message-loss probability, applied to
+	// links without a more specific entry in Links.
+	DropProb float64
+	// SpikeProb/SpikeNS is the cluster-wide latency-spike behaviour,
+	// applied to links without a more specific entry in Links.
+	SpikeProb float64
+	SpikeNS   int64
+	// Links overrides the cluster-wide probabilities per directed link.
+	Links []Link
+}
+
+// Validate checks the plan against a cluster of places places: crash
+// targets must exist, probabilities must be in [0,1], and at least one
+// place must survive.
+func (p *Plan) Validate(places int) error {
+	if p == nil {
+		return nil
+	}
+	crashed := make(map[int]bool)
+	for _, c := range p.Crashes {
+		if c.Place < 0 || c.Place >= places {
+			return fmt.Errorf("fault: crash of invalid place %d (have %d places)", c.Place, places)
+		}
+		if c.AtVirtualNS <= 0 && c.AfterTasks <= 0 {
+			return fmt.Errorf("fault: crash of place %d has no trigger (set AtVirtualNS or AfterTasks)", c.Place)
+		}
+		crashed[c.Place] = true
+	}
+	if len(crashed) >= places {
+		return fmt.Errorf("fault: plan crashes all %d places; at least one must survive", places)
+	}
+	if err := checkProb("DropProb", p.DropProb); err != nil {
+		return err
+	}
+	if err := checkProb("SpikeProb", p.SpikeProb); err != nil {
+		return err
+	}
+	for _, l := range p.Links {
+		if err := checkProb("link DropProb", l.DropProb); err != nil {
+			return err
+		}
+		if err := checkProb("link SpikeProb", l.SpikeProb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkProb(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("fault: %s = %v, want [0,1]", name, v)
+	}
+	return nil
+}
+
+// CrashOf returns the crash entry for place, if the plan has one.
+func (p *Plan) CrashOf(place int) (Crash, bool) {
+	if p == nil {
+		return Crash{}, false
+	}
+	for _, c := range p.Crashes {
+		if c.Place == place {
+			return c, true
+		}
+	}
+	return Crash{}, false
+}
+
+// Injector evaluates a Plan one decision at a time. All methods are safe
+// for concurrent use and are no-ops on a nil receiver, so fault-free code
+// paths need no branching.
+type Injector struct {
+	plan  Plan
+	nonce atomic.Uint64
+}
+
+// NewInjector builds an injector for plan. A nil plan yields a nil
+// injector, whose methods all report "no fault".
+func NewInjector(plan *Plan) *Injector {
+	if plan == nil {
+		return nil
+	}
+	in := &Injector{plan: *plan}
+	if in.plan.Seed == 0 {
+		in.plan.Seed = 1
+	}
+	return in
+}
+
+// link resolves the effective fault behaviour of the from→to link.
+func (in *Injector) link(from, to int) Link {
+	for _, l := range in.plan.Links {
+		if (l.From == -1 || l.From == from) && (l.To == -1 || l.To == to) {
+			return l
+		}
+	}
+	return Link{
+		From: from, To: to,
+		DropProb:  in.plan.DropProb,
+		SpikeProb: in.plan.SpikeProb,
+		SpikeNS:   in.plan.SpikeNS,
+	}
+}
+
+// Drop decides whether the next message from→to is lost.
+func (in *Injector) Drop(from, to int) bool {
+	if in == nil {
+		return false
+	}
+	l := in.link(from, to)
+	if l.DropProb <= 0 {
+		return false
+	}
+	return in.roll(from, to) < l.DropProb
+}
+
+// SpikeNS returns the extra latency, in nanoseconds, the next message
+// from→to suffers (zero when no spike fires).
+func (in *Injector) SpikeNS(from, to int) int64 {
+	if in == nil {
+		return 0
+	}
+	l := in.link(from, to)
+	if l.SpikeProb <= 0 || l.SpikeNS <= 0 {
+		return 0
+	}
+	if in.roll(from, to) < l.SpikeProb {
+		return l.SpikeNS
+	}
+	return 0
+}
+
+// CrashAtNS returns the virtual-time crash instant of place, if any.
+func (in *Injector) CrashAtNS(place int) (int64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	c, ok := in.plan.CrashOf(place)
+	if !ok || c.AtVirtualNS <= 0 {
+		return 0, false
+	}
+	return c.AtVirtualNS, true
+}
+
+// CrashAfterTasks returns the task-count crash trigger of place, if any.
+func (in *Injector) CrashAfterTasks(place int) (int64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	c, ok := in.plan.CrashOf(place)
+	if !ok || c.AfterTasks <= 0 {
+		return 0, false
+	}
+	return c.AfterTasks, true
+}
+
+// roll draws a deterministic uniform in [0,1) for the next decision on
+// the from→to link: a stateless hash of the seed, the link, and a global
+// decision counter.
+func (in *Injector) roll(from, to int) float64 {
+	n := in.nonce.Add(1)
+	h := mix(uint64(in.plan.Seed), uint64(from+1)*0x1_0000_01+uint64(to+1))
+	h = mix(h, n)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// mix is the splitmix64 finalizer over a seeded combination of a and b.
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DownSet tracks which places have been observed down. It is the shared
+// "places marked down" record thieves consult for victim exclusion and
+// dispatchers consult for re-homing. Safe for concurrent use; the zero
+// value is unusable — create with NewDownSet.
+type DownSet struct {
+	down []atomic.Bool
+	n    atomic.Int32
+}
+
+// NewDownSet returns a tracker over places places.
+func NewDownSet(places int) *DownSet {
+	if places <= 0 {
+		panic(fmt.Sprintf("fault: NewDownSet places=%d, want > 0", places))
+	}
+	return &DownSet{down: make([]atomic.Bool, places)}
+}
+
+// MarkDown records place as down. It reports whether this call was the
+// first to mark it (so callers can count PlacesLost exactly once).
+func (d *DownSet) MarkDown(place int) bool {
+	if place < 0 || place >= len(d.down) {
+		return false
+	}
+	if d.down[place].Swap(true) {
+		return false
+	}
+	d.n.Add(1)
+	return true
+}
+
+// Down reports whether place has been marked down.
+func (d *DownSet) Down(place int) bool {
+	if d == nil || place < 0 || place >= len(d.down) {
+		return false
+	}
+	return d.down[place].Load()
+}
+
+// Count returns how many places are marked down.
+func (d *DownSet) Count() int {
+	if d == nil {
+		return 0
+	}
+	return int(d.n.Load())
+}
+
+// Places returns the tracked place count.
+func (d *DownSet) Places() int { return len(d.down) }
+
+// NextAlive returns the first place at or after from (wrapping around)
+// that is not marked down, or -1 if every place is down. It is the
+// deterministic re-homing rule used when a task's home place has failed.
+func (d *DownSet) NextAlive(from int) int {
+	n := len(d.down)
+	if n == 0 {
+		return -1
+	}
+	from %= n
+	if from < 0 {
+		from += n
+	}
+	for i := 0; i < n; i++ {
+		p := (from + i) % n
+		if !d.down[p].Load() {
+			return p
+		}
+	}
+	return -1
+}

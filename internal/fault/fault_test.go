@@ -1,0 +1,163 @@
+package fault
+
+import "testing"
+
+func TestNilPlanAndInjectorAreNoFault(t *testing.T) {
+	var p *Plan
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("nil plan Validate: %v", err)
+	}
+	var in *Injector
+	if in.Drop(0, 1) {
+		t.Fatalf("nil injector dropped a message")
+	}
+	if in.SpikeNS(0, 1) != 0 {
+		t.Fatalf("nil injector spiked")
+	}
+	if _, ok := in.CrashAtNS(0); ok {
+		t.Fatalf("nil injector crashed a place")
+	}
+	if NewInjector(nil) != nil {
+		t.Fatalf("NewInjector(nil) should be nil")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"good crash", Plan{Crashes: []Crash{{Place: 1, AtVirtualNS: 5}}}, true},
+		{"bad place", Plan{Crashes: []Crash{{Place: 9}}}, false},
+		{"negative place", Plan{Crashes: []Crash{{Place: -1}}}, false},
+		{"all places crash", Plan{Crashes: []Crash{{Place: 0}, {Place: 1}, {Place: 2}, {Place: 3}}}, false},
+		{"bad drop prob", Plan{DropProb: 1.5}, false},
+		{"bad link prob", Plan{Links: []Link{{From: -1, To: -1, DropProb: -0.1}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestCrashLookup(t *testing.T) {
+	p := &Plan{Crashes: []Crash{
+		{Place: 1, AtVirtualNS: 500},
+		{Place: 2, AfterTasks: 10},
+	}}
+	in := NewInjector(p)
+	if at, ok := in.CrashAtNS(1); !ok || at != 500 {
+		t.Fatalf("CrashAtNS(1) = %d,%v", at, ok)
+	}
+	if _, ok := in.CrashAtNS(2); ok {
+		t.Fatalf("place 2 is step-triggered, not time-triggered")
+	}
+	if n, ok := in.CrashAfterTasks(2); !ok || n != 10 {
+		t.Fatalf("CrashAfterTasks(2) = %d,%v", n, ok)
+	}
+	if _, ok := in.CrashAfterTasks(0); ok {
+		t.Fatalf("place 0 never crashes")
+	}
+}
+
+// Two injectors with the same plan asked in the same order must make
+// identical decisions: this is what makes chaos runs reproducible.
+func TestDropDeterminism(t *testing.T) {
+	plan := &Plan{Seed: 42, DropProb: 0.3}
+	a, b := NewInjector(plan), NewInjector(plan)
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		from, to := i%4, (i+1)%4
+		da, db := a.Drop(from, to), b.Drop(from, to)
+		if da != db {
+			t.Fatalf("decision %d diverged: %v vs %v", i, da, db)
+		}
+		if da {
+			drops++
+		}
+	}
+	// 30% nominal over 1000 draws: allow a generous band.
+	if drops < 200 || drops > 400 {
+		t.Fatalf("dropped %d of 1000 at p=0.3", drops)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a := NewInjector(&Plan{Seed: 1, DropProb: 0.5})
+	b := NewInjector(&Plan{Seed: 2, DropProb: 0.5})
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Drop(0, 1) != b.Drop(0, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced an identical 64-decision schedule")
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	in := NewInjector(&Plan{
+		Seed:     7,
+		DropProb: 0, // cluster-wide: lossless
+		Links:    []Link{{From: 2, To: -1, DropProb: 1}},
+	})
+	for i := 0; i < 16; i++ {
+		if in.Drop(0, 1) {
+			t.Fatalf("lossless link dropped")
+		}
+		if !in.Drop(2, 3) {
+			t.Fatalf("p=1 link delivered")
+		}
+	}
+}
+
+func TestSpike(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 3, SpikeProb: 1, SpikeNS: 250})
+	if got := in.SpikeNS(0, 1); got != 250 {
+		t.Fatalf("SpikeNS = %d, want 250", got)
+	}
+	none := NewInjector(&Plan{Seed: 3})
+	if got := none.SpikeNS(0, 1); got != 0 {
+		t.Fatalf("spike-free plan spiked %d", got)
+	}
+}
+
+func TestDownSet(t *testing.T) {
+	d := NewDownSet(4)
+	if d.Down(2) || d.Count() != 0 {
+		t.Fatalf("fresh set has downs")
+	}
+	if !d.MarkDown(2) {
+		t.Fatalf("first MarkDown should report true")
+	}
+	if d.MarkDown(2) {
+		t.Fatalf("second MarkDown should report false")
+	}
+	if !d.Down(2) || d.Count() != 1 {
+		t.Fatalf("place 2 should be down")
+	}
+	if got := d.NextAlive(2); got != 3 {
+		t.Fatalf("NextAlive(2) = %d, want 3", got)
+	}
+	d.MarkDown(3)
+	if got := d.NextAlive(2); got != 0 {
+		t.Fatalf("NextAlive(2) = %d, want wraparound to 0", got)
+	}
+	if got := d.NextAlive(-1); got != 0 && got != 1 {
+		t.Fatalf("NextAlive(-1) = %d", got)
+	}
+	d.MarkDown(0)
+	d.MarkDown(1)
+	if got := d.NextAlive(0); got != -1 {
+		t.Fatalf("NextAlive with all down = %d, want -1", got)
+	}
+	// Out-of-range queries are harmless.
+	if d.Down(99) || d.MarkDown(99) {
+		t.Fatalf("out-of-range place should not be markable")
+	}
+}

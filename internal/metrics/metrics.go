@@ -31,6 +31,15 @@ type Counters struct {
 	CacheMisses      atomic.Int64 // modelled cache misses
 	RemoteDataAccess atomic.Int64 // at() style remote reference operations
 	TasksMigrated    atomic.Int64 // tasks executed away from their home place
+
+	// Fault-tolerance counters (internal/fault): recovery must be
+	// observable, so every injected or real failure the scheduler survives
+	// is recorded here.
+	StealTimeouts   atomic.Int64 // steal round trips that timed out
+	Retries         atomic.Int64 // steal requests re-sent after a timeout
+	DroppedMessages atomic.Int64 // messages lost to injected link faults
+	PlacesLost      atomic.Int64 // places that crashed during the run
+	TasksReExecuted atomic.Int64 // tasks re-enqueued after a place failure
 }
 
 // Snapshot is an immutable copy of a Counters at one instant.
@@ -47,6 +56,11 @@ type Snapshot struct {
 	CacheMisses      int64
 	RemoteDataAccess int64
 	TasksMigrated    int64
+	StealTimeouts    int64
+	Retries          int64
+	DroppedMessages  int64
+	PlacesLost       int64
+	TasksReExecuted  int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the counters.
@@ -66,6 +80,11 @@ func (c *Counters) Snapshot() Snapshot {
 		CacheMisses:      c.CacheMisses.Load(),
 		RemoteDataAccess: c.RemoteDataAccess.Load(),
 		TasksMigrated:    c.TasksMigrated.Load(),
+		StealTimeouts:    c.StealTimeouts.Load(),
+		Retries:          c.Retries.Load(),
+		DroppedMessages:  c.DroppedMessages.Load(),
+		PlacesLost:       c.PlacesLost.Load(),
+		TasksReExecuted:  c.TasksReExecuted.Load(),
 	}
 }
 
@@ -89,13 +108,22 @@ func (s Snapshot) CacheMissRate() float64 {
 	return 100 * float64(s.CacheMisses) / float64(s.CacheRefs)
 }
 
-// String renders the snapshot as a single human-readable line.
+// String renders the snapshot as a single human-readable line. Fault
+// counters are appended only when the run actually saw failures, keeping
+// fault-free output identical to the original format.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	base := fmt.Sprintf(
 		"tasks=%d spawned=%d steals(local=%d remote=%d failed=%d) msgs=%d bytes=%d missRate=%.2f%% migrated=%d",
 		s.TasksExecuted, s.TasksSpawned, s.LocalSteals, s.RemoteSteals,
 		s.FailedSteals, s.Messages, s.BytesTransferred, s.CacheMissRate(),
 		s.TasksMigrated)
+	if s.StealTimeouts == 0 && s.Retries == 0 && s.DroppedMessages == 0 &&
+		s.PlacesLost == 0 && s.TasksReExecuted == 0 {
+		return base
+	}
+	return base + fmt.Sprintf(
+		" faults(timeouts=%d retries=%d dropped=%d placesLost=%d reExecuted=%d)",
+		s.StealTimeouts, s.Retries, s.DroppedMessages, s.PlacesLost, s.TasksReExecuted)
 }
 
 // Utilization tracks per-place busy time against a common total, yielding

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -190,5 +191,20 @@ func TestSnapshotString(t *testing.T) {
 	c.TasksExecuted.Add(1)
 	if got := c.Snapshot().String(); got == "" {
 		t.Fatalf("String() should be non-empty")
+	}
+}
+
+func TestSnapshotStringFaultSuffix(t *testing.T) {
+	var c Counters
+	c.TasksExecuted.Add(1)
+	clean := c.Snapshot().String()
+	if strings.Contains(clean, "faults(") {
+		t.Fatalf("fault-free snapshot should omit the fault suffix: %q", clean)
+	}
+	c.StealTimeouts.Add(3)
+	c.TasksReExecuted.Add(2)
+	faulty := c.Snapshot().String()
+	if !strings.Contains(faulty, "faults(timeouts=3") || !strings.Contains(faulty, "reExecuted=2") {
+		t.Fatalf("fault suffix missing: %q", faulty)
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"distws/internal/cachesim"
 	"distws/internal/deque"
+	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/sched"
 	"distws/internal/task"
@@ -62,6 +63,18 @@ type Options struct {
 	// thousands of cycles"). Off by default; enable to study contention
 	// on fine-grained workloads.
 	LockContention bool
+	// Fault is the injected fault plan: place crashes in virtual time (or
+	// after a task count), message loss and latency spikes on the steal
+	// path. Nil simulates a fault-free cluster. Crashed places stop
+	// executing; their queued and running tasks are re-homed to survivors
+	// and re-executed, and thieves exclude them from victim sweeps.
+	Fault *fault.Plan
+	// StealTimeoutNS is how long a thief waits for a steal reply before
+	// declaring the round trip lost. Zero picks 4× the probe round trip.
+	StealTimeoutNS int64
+	// StealMaxAttempts bounds the per-victim request attempts (the first
+	// try plus retries under exponential backoff). Zero picks 3.
+	StealMaxAttempts int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +89,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RemoteRefBytes == 0 {
 		o.RemoteRefBytes = 256
+	}
+	if o.StealMaxAttempts <= 0 {
+		o.StealMaxAttempts = 3
 	}
 	return o
 }
@@ -117,19 +133,21 @@ const (
 	evWake                 // an idle worker re-checks for work
 	evDone                 // a worker finishes its task
 	evArrive               // stolen/pushed tasks arrive at a place's shared deque
+	evCrash                // a place fail-stops (fault injection)
 )
 
 type event struct {
-	at     int64
-	seq    uint64
-	kind   evKind
-	worker int   // evWake, evDone
-	taskID int   // evSpawn, evDone
-	home   int   // evSpawn: resolved home place
-	from   int   // evSpawn: spawning place (-1 for roots)
-	fromW  int   // evSpawn: spawning worker id (-1 if none/remote)
-	place  int   // evArrive
-	batch  []int // evArrive payload
+	at      int64
+	seq     uint64
+	kind    evKind
+	worker  int   // evWake, evDone
+	taskID  int   // evSpawn, evDone
+	home    int   // evSpawn: resolved home place
+	from    int   // evSpawn: spawning place (-1 for roots)
+	fromW   int   // evSpawn: spawning worker id (-1 if none/remote)
+	place   int   // evArrive, evCrash
+	batch   []int // evArrive payload
+	requeue bool  // evSpawn: re-enqueue after a place failure, not a fresh spawn
 }
 
 type eventHeap []event
@@ -152,6 +170,9 @@ type simWorker struct {
 	place *simPlace
 	priv  deque.Private[int]
 	busy  bool
+	// curTask is the task currently executing (-1 when idle); a crash of
+	// the place loses it mid-flight, so recovery re-homes it.
+	curTask int
 	// wakePending dedups wake events so a dormant worker has at most one
 	// outstanding wake.
 	wakePending bool
@@ -170,6 +191,11 @@ type simPlace struct {
 	failedSweeps int
 	spawnSeq     uint64
 	rr           int
+	// dead marks a crashed place: it executes nothing, answers no steals,
+	// and is excluded from victim sweeps, wakes, and task homing.
+	dead bool
+	// executed counts tasks completed here, for AfterTasks crash triggers.
+	executed int64
 	lifelines    []bool // waiting places registered on this place
 	// cache models the node's data cache: tasks executing at their home
 	// place find their blocks warm across repeated visits; migrated tasks
@@ -199,6 +225,14 @@ type engine struct {
 	// resolvedHome is each task's home place as fixed at spawn time
 	// (HomeInherit children are homed at their parent's executing place).
 	resolvedHome []int
+
+	// inj evaluates the injected fault plan (nil when fault-free).
+	inj *fault.Injector
+	// childSpawned marks tasks whose children have been scheduled, so a
+	// re-executed task does not spawn its subtree twice.
+	childSpawned []bool
+	// stealTimeoutNS is the resolved per-request steal timeout.
+	stealTimeoutNS int64
 }
 
 // Run simulates graph g on cluster cl under policy, returning the run's
@@ -215,9 +249,18 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 		return nil, fmt.Errorf("sim: invalid policy %v", policy)
 	}
 	opts = opts.withDefaults()
+	if err := opts.Fault.Validate(cl.Places); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 
 	e := &engine{g: g, cl: cl, policy: policy, opts: opts}
+	e.inj = fault.NewInjector(opts.Fault)
 	e.resolvedHome = make([]int, len(g.Tasks))
+	e.childSpawned = make([]bool, len(g.Tasks))
+	e.stealTimeoutNS = opts.StealTimeoutNS
+	if e.stealTimeoutNS <= 0 {
+		e.stealTimeoutNS = 4 * cl.Net.RoundTripNS(32, 32)
+	}
 	e.places = make([]*simPlace, cl.Places)
 	for p := range e.places {
 		e.places[p] = &simPlace{
@@ -230,13 +273,22 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 		pl.workers = make([]*simWorker, cl.WorkersPerPlace)
 		for i := range pl.workers {
 			w := &simWorker{
-				id:    p*cl.WorkersPerPlace + i,
-				local: i,
-				place: pl,
-				rng:   rand.New(rand.NewSource(opts.Seed + int64(p*1000+i))),
+				id:      p*cl.WorkersPerPlace + i,
+				local:   i,
+				place:   pl,
+				curTask: -1,
+				rng:     rand.New(rand.NewSource(opts.Seed + int64(p*1000+i))),
 			}
 			pl.workers[i] = w
 			e.workers = append(e.workers, w)
+		}
+	}
+
+	// Schedule the plan's virtual-time crashes before any work exists so
+	// heap ordering alone decides what they interrupt.
+	for p := range e.places {
+		if at, ok := e.inj.CrashAtNS(p); ok {
+			e.push(event{at: at, kind: evCrash, place: p})
 		}
 	}
 
@@ -260,6 +312,8 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 			e.handleDone(ev)
 		case evArrive:
 			e.handleArrive(ev)
+		case evCrash:
+			e.crashPlace(e.places[ev.place])
 		}
 	}
 	if e.tasksDone < len(g.Tasks) {
@@ -324,9 +378,16 @@ func (e *engine) load(p *simPlace) sched.PlaceLoad {
 // handleSpawn maps a newly available task per Algorithm 1 lines 1–8.
 func (e *engine) handleSpawn(ev event) {
 	t := &e.g.Tasks[ev.taskID]
+	if e.places[ev.home].dead {
+		// The home place failed before (or while) the task arrived: the
+		// runtime re-homes it to a survivor.
+		ev.home = e.aliveHome(ev.home)
+	}
 	home := e.places[ev.home]
 	e.resolvedHome[ev.taskID] = ev.home
-	e.ctrs.TasksSpawned.Add(1)
+	if !ev.requeue {
+		e.ctrs.TasksSpawned.Add(1)
+	}
 
 	if ev.from >= 0 && ev.from != ev.home {
 		// Cross-place async: ship the task and its payload.
@@ -367,6 +428,9 @@ func (e *engine) handleSpawn(ev event) {
 // when the work is remotely stealable and p has no idle workers, one
 // dormant remote worker is woken to model a thief noticing the surplus.
 func (e *engine) wakeFor(p *simPlace, remotelyStealable bool) {
+	if p.dead {
+		return
+	}
 	for _, w := range p.workers {
 		if !w.busy && !w.wakePending {
 			w.wakePending = true
@@ -380,7 +444,7 @@ func (e *engine) wakeFor(p *simPlace, remotelyStealable bool) {
 	}
 	for off := 0; off < len(e.places); off++ {
 		q := e.places[(e.remoteRR+off)%len(e.places)]
-		if q == p {
+		if q == p || q.dead {
 			continue
 		}
 		for _, w := range q.workers {
@@ -399,7 +463,7 @@ func (e *engine) handleWake(worker int) {
 	w := e.workers[worker]
 	w.wakePending = false
 	w.place.pendingWakes--
-	if w.busy {
+	if w.busy || w.place.dead {
 		return
 	}
 	e.findWork(w)
@@ -407,12 +471,23 @@ func (e *engine) handleWake(worker int) {
 
 func (e *engine) handleDone(ev event) {
 	w := e.workers[ev.worker]
+	if w.place.dead {
+		// The place crashed while this task was executing; the completion
+		// is lost and the crash handler already re-homed the task.
+		return
+	}
 	w.busy = false
+	w.curTask = -1
 	w.place.running--
+	w.place.executed++
 	e.tasksDone++
 	e.ctrs.TasksExecuted.Add(1)
 	if e.now > e.lastDone {
 		e.lastDone = e.now
+	}
+	if n, ok := e.inj.CrashAfterTasks(w.place.id); ok && w.place.executed >= n {
+		e.crashPlace(w.place)
+		return
 	}
 	if e.tasksDone == len(e.g.Tasks) {
 		return
@@ -422,6 +497,16 @@ func (e *engine) handleDone(ev event) {
 
 func (e *engine) handleArrive(ev event) {
 	p := e.places[ev.place]
+	if p.dead {
+		// Stolen tasks in flight toward a crashed thief: re-home them so
+		// the work is not lost with the place.
+		for _, id := range ev.batch {
+			e.ctrs.TasksReExecuted.Add(1)
+			e.push(event{at: e.now, kind: evSpawn, taskID: id,
+				home: e.aliveHome(ev.place), from: -1, fromW: -1, requeue: true})
+		}
+		return
+	}
 	for _, id := range ev.batch {
 		p.queued++
 		p.shared.Push(id)
@@ -431,10 +516,75 @@ func (e *engine) handleArrive(ev event) {
 	e.wakeFor(p, true)
 }
 
+// aliveHome returns the first surviving place at or after prefer, wrapping
+// around. Plan validation guarantees at least one survivor.
+func (e *engine) aliveHome(prefer int) int {
+	n := len(e.places)
+	prefer %= n
+	if prefer < 0 {
+		prefer += n
+	}
+	for i := 0; i < n; i++ {
+		p := (prefer + i) % n
+		if !e.places[p].dead {
+			return p
+		}
+	}
+	return prefer
+}
+
+// crashPlace fail-stops p: every queued task (shared and private deques)
+// and every task running there at the instant of the crash is re-homed to
+// a surviving place and re-executed. Recovery ships each orphan's payload
+// once, mirroring a resilient-finish re-spawn.
+func (e *engine) crashPlace(p *simPlace) {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.active = false
+	e.ctrs.PlacesLost.Add(1)
+
+	var orphans []int
+	for {
+		id, ok := p.shared.Poll()
+		if !ok {
+			break
+		}
+		orphans = append(orphans, id)
+	}
+	for _, w := range p.workers {
+		for {
+			id, ok := w.priv.Pop()
+			if !ok {
+				break
+			}
+			orphans = append(orphans, id)
+		}
+	}
+	p.queued -= len(orphans)
+	for _, w := range p.workers {
+		if w.busy && w.curTask >= 0 {
+			orphans = append(orphans, w.curTask)
+			w.curTask = -1
+		}
+	}
+
+	for i, id := range orphans {
+		e.ctrs.TasksReExecuted.Add(1)
+		delay := e.cl.Net.TransferNS(e.g.Tasks[id].MigBytes)
+		e.push(event{at: e.now + delay, kind: evSpawn, taskID: id,
+			home: e.aliveHome(p.id + 1 + i), from: -1, fromW: -1, requeue: true})
+	}
+}
+
 // findWork performs one Algorithm-1 sweep for w at e.now. On failure the
 // worker goes dormant until the next wake.
 func (e *engine) findWork(w *simWorker) {
 	p := w.place
+	if p.dead {
+		return
+	}
 	over := e.cl.Over
 
 	// 1. Own private deque.
@@ -479,7 +629,10 @@ func (e *engine) findWork(w *simWorker) {
 
 // stealRemote probes remote shared deques in randomized order, taking a
 // chunk from the first victim with surplus. Probe round trips and payload
-// transfer delay the stolen task's start.
+// transfer delay the stolen task's start. Victims marked down are
+// excluded; a probe whose request or reply is lost to an injected link
+// fault costs the thief one steal timeout, after which it retries the
+// victim under exponential backoff before moving on.
 func (e *engine) stealRemote(w *simWorker) bool {
 	chunkSize := sched.RemoteChunk(e.policy)
 	if e.opts.ChunkOverride > 0 {
@@ -489,9 +642,31 @@ func (e *engine) stealRemote(w *simWorker) bool {
 	probeRTT := e.cl.Net.RoundTripNS(32, 32)
 	for _, v := range sched.VictimOrder(e.policy, w.place.id, len(e.places), w.rng) {
 		victim := e.places[v]
-		e.ctrs.RemoteProbes.Add(1)
-		e.ctrs.Messages.Add(2)
-		delay += probeRTT
+		if victim.dead {
+			continue
+		}
+		ok := true
+		for attempt := 0; ; attempt++ {
+			e.ctrs.RemoteProbes.Add(1)
+			e.ctrs.Messages.Add(2)
+			if e.inj.Drop(w.place.id, v) || e.inj.Drop(v, w.place.id) {
+				// Request or reply lost: the thief burns a full timeout.
+				e.ctrs.DroppedMessages.Add(1)
+				e.ctrs.StealTimeouts.Add(1)
+				delay += e.stealTimeoutNS << attempt
+				if attempt+1 >= e.opts.StealMaxAttempts {
+					ok = false
+					break
+				}
+				e.ctrs.Retries.Add(1)
+				continue
+			}
+			delay += probeRTT + e.inj.SpikeNS(w.place.id, v)
+			break
+		}
+		if !ok {
+			continue
+		}
 		chunk := victim.shared.StealChunk(chunkSize)
 		if chunk == nil {
 			continue
@@ -532,8 +707,16 @@ func (e *engine) sharedDequeDelay(p *simPlace) int64 {
 }
 
 // registerLifelines marks p on its hypercube neighbours (LifelineWS).
+// A neighbour that has crashed is re-homed: the registration goes to the
+// next surviving place instead, so the lifeline graph stays connected.
 func (e *engine) registerLifelines(p *simPlace) {
 	for _, q := range sched.Lifelines(p.id, len(e.places)) {
+		if e.places[q].dead {
+			q = e.aliveHome(q + 1)
+			if q == p.id {
+				continue
+			}
+		}
 		neighbour := e.places[q]
 		if !neighbour.lifelines[p.id] {
 			neighbour.lifelines[p.id] = true
@@ -550,6 +733,11 @@ func (e *engine) serveLifelines(p *simPlace) {
 			return
 		}
 		if !p.lifelines[q] {
+			continue
+		}
+		if e.places[q].dead {
+			// A waiter that crashed after registering: drop the edge.
+			p.lifelines[q] = false
 			continue
 		}
 		p.lifelines[q] = false
@@ -571,6 +759,7 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 	t := &e.g.Tasks[id]
 	p := w.place
 	w.busy = true
+	w.curTask = id
 	p.running++
 	p.active = true
 	p.failedSweeps = 0
@@ -639,7 +828,13 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 	w.busyNS += service
 	e.push(event{at: doneAt, kind: evDone, worker: w.id, taskID: id})
 
-	// Children become available during the parent's execution.
+	// Children become available during the parent's execution. A task
+	// re-executed after a crash has already scheduled its children; the
+	// subtree must not be spawned twice.
+	if e.childSpawned[id] {
+		return
+	}
+	e.childSpawned[id] = true
 	for i, c := range t.Children {
 		frac := childFrac(t, i)
 		at := e.now + startDelay + int64(frac*float64(t.CostNS))
