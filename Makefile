@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench chaos
+.PHONY: all build test race vet check bench bench-smoke chaos
 
 all: check
 
@@ -13,14 +13,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# -race covers the parallel experiment harness (internal/expt fans
+# simulation cells across a worker pool; its determinism tests run the
+# pool at width 8 even on small hosts).
 race:
 	$(GO) test -race ./...
 
-# The gate a change must pass before merging.
-check: build vet test race
+# One-iteration run of the simulator hot-path benchmark: catches the hot
+# path regressing to a non-compiling, panicking, or racy state without
+# paying for a full measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkSimulator128Workers -benchtime=1x .
 
+# The gate a change must pass before merging.
+check: build vet test race bench-smoke
+
+# Full measurement: refreshes the machine-readable perf baseline
+# (BENCH_sim.json) and prints the per-exhibit Go benchmarks.
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) run ./cmd/distws-bench -out BENCH_sim.json
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
 
 # Fault-injection suite only (also part of `test`).
 chaos:

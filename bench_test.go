@@ -41,6 +41,7 @@ func runner() *expt.Runner {
 // ratios under DistWS at 128 workers).
 func BenchmarkFig3StealsToTaskRatio(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := r.Fig3()
 		if err != nil {
@@ -56,6 +57,7 @@ func BenchmarkFig3StealsToTaskRatio(b *testing.B) {
 // times, virtual and host wall clock).
 func BenchmarkFig4SequentialTime(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Fig4(); err != nil {
 			b.Fatal(err)
@@ -67,6 +69,7 @@ func BenchmarkFig4SequentialTime(b *testing.B) {
 // over 1–16 places at 8 workers per place).
 func BenchmarkFig5SpeedupSweep(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := r.Fig5(nil)
 		if err != nil {
@@ -84,6 +87,7 @@ func BenchmarkFig5SpeedupSweep(b *testing.B) {
 // BenchmarkTable1Granularity regenerates Table I (task granularities).
 func BenchmarkTable1Granularity(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Table1(); err != nil {
 			b.Fatal(err)
@@ -95,6 +99,7 @@ func BenchmarkTable1Granularity(b *testing.B) {
 // rates for X10WS / DistWS-NS / DistWS at 128 workers).
 func BenchmarkTable2CacheMissRates(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Table2(); err != nil {
 			b.Fatal(err)
@@ -105,6 +110,7 @@ func BenchmarkTable2CacheMissRates(b *testing.B) {
 // BenchmarkTable3Messages regenerates Table III (messages across nodes).
 func BenchmarkTable3Messages(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Table3(); err != nil {
 			b.Fatal(err)
@@ -116,6 +122,7 @@ func BenchmarkTable3Messages(b *testing.B) {
 // comparison at 128 workers).
 func BenchmarkFig6PolicyComparison(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Fig6(); err != nil {
 			b.Fatal(err)
@@ -127,6 +134,7 @@ func BenchmarkFig6PolicyComparison(b *testing.B) {
 // utilization and its spread under the three policies).
 func BenchmarkFig7NodeUtilization(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Fig7(); err != nil {
 			b.Fatal(err)
@@ -138,6 +146,7 @@ func BenchmarkFig7NodeUtilization(b *testing.B) {
 // micro-application study.
 func BenchmarkGranularityStudy(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.GranularityStudy(); err != nil {
 			b.Fatal(err)
@@ -149,6 +158,7 @@ func BenchmarkGranularityStudy(b *testing.B) {
 // LifelineWS vs DistWS).
 func BenchmarkUTSComparison(b *testing.B) {
 	r := runner()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.UTSStudy(); err != nil {
 			b.Fatal(err)
@@ -157,7 +167,10 @@ func BenchmarkUTSComparison(b *testing.B) {
 }
 
 // BenchmarkSimulator128Workers measures raw simulator throughput on the
-// cached DMG trace at full cluster width.
+// cached DMG trace at full cluster width. Allocations per run and
+// discrete-event throughput are reported so hot-path regressions (a
+// reintroduced per-event allocation, a slower heap) are visible directly
+// in benchmark output.
 func BenchmarkSimulator128Workers(b *testing.B) {
 	r := runner()
 	app, err := suite.ByName("dmg", suite.Small, 1)
@@ -168,11 +181,47 @@ func BenchmarkSimulator128Workers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var events int64
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: 1}); err != nil {
+		res, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: 1})
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += res.Events
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
+// BenchmarkEvaluationHarness regenerates the three-policy exhibits
+// (Tables II/III, Figs. 6/7 share one simulation grid) sequentially and on
+// the GOMAXPROCS worker pool, making the parallel harness speedup visible
+// in benchmark output. On a single-core host the two run at par.
+func BenchmarkEvaluationHarness(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := expt.New(suite.Small, 1)
+			r.Workers = mode.workers
+			if _, err := r.Table2(); err != nil { // warm the trace cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Table2(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.Fig6(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,172 @@
+// Command distws-bench measures the experiment pipeline's two hot paths —
+// raw simulator throughput and full-evaluation wall clock — and writes the
+// results as machine-readable JSON. It exists so every perf-affecting PR
+// can record a before/after point on the same axes (`make bench` refreshes
+// BENCH_sim.json, the checked-in baseline):
+//
+//	distws-bench                       # print JSON to stdout
+//	distws-bench -out BENCH_sim.json   # refresh the checked-in baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"distws/internal/apps/suite"
+	"distws/internal/expt"
+	"distws/internal/sched"
+	"distws/internal/sim"
+)
+
+// simBench is one testing.Benchmark result in JSON form.
+type simBench struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  int64   `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// report is the full BENCH_sim.json document.
+type report struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+	Scale      int    `json:"scale"`
+
+	// Simulator is the allocation/throughput profile of one DMG DistWS run
+	// at 128 virtual workers (the BenchmarkSimulator128Workers shape).
+	Simulator simBench `json:"simulator"`
+
+	// SuiteSequentialMS / SuiteParallelMS are wall-clock milliseconds for
+	// regenerating every simulator-driven exhibit with Workers=1 and with
+	// the GOMAXPROCS pool.
+	SuiteSequentialMS float64 `json:"suite_sequential_ms"`
+	SuiteParallelMS   float64 `json:"suite_parallel_ms"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distws-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "", "write JSON to `file` (default stdout)")
+		seed  = flag.Int64("seed", 1, "workload and scheduler seed")
+		scale = flag.Int("scale", 1, "workload scale multiplier")
+	)
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Scale:      *scale,
+	}
+
+	// Simulator hot path: DMG under DistWS at the full 16×8 cluster.
+	r := expt.New(suite.Scale(*scale), *seed)
+	app, err := suite.ByName("dmg", suite.Scale(*scale), *seed)
+	if err != nil {
+		return err
+	}
+	g, err := r.Trace(app, r.Cluster.Places)
+	if err != nil {
+		return err
+	}
+	var events, runs int64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+			runs++
+		}
+	})
+	rep.Simulator = simBench{
+		Name:        "Simulator128Workers/dmg/DistWS",
+		Iterations:  br.N,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	if runs > 0 {
+		rep.Simulator.EventsPerOp = events / runs
+		if ns := br.NsPerOp(); ns > 0 {
+			rep.Simulator.EventsPerSec = float64(rep.Simulator.EventsPerOp) / (float64(ns) / 1e9)
+		}
+	}
+
+	// Full-evaluation wall clock, sequential then parallel, on fresh
+	// runners (each generates its own traces so the two are comparable).
+	seqMS, err := timeSuite(*scale, *seed, 1)
+	if err != nil {
+		return err
+	}
+	parMS, err := timeSuite(*scale, *seed, 0)
+	if err != nil {
+		return err
+	}
+	rep.SuiteSequentialMS = seqMS
+	rep.SuiteParallelMS = parMS
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// timeSuite regenerates every simulator-driven exhibit once and returns
+// the elapsed wall clock in milliseconds.
+func timeSuite(scale int, seed int64, workers int) (float64, error) {
+	r := expt.New(suite.Scale(scale), seed)
+	r.Workers = workers
+	start := time.Now()
+	if _, err := r.Fig3(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig5(nil); err != nil {
+		return 0, err
+	}
+	if _, err := r.Table1(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Table2(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Table3(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig6(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig7(); err != nil {
+		return 0, err
+	}
+	if _, err := r.GranularityStudy(); err != nil {
+		return 0, err
+	}
+	if _, err := r.UTSStudy(); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1e6, nil
+}

@@ -2,15 +2,23 @@
 // paper's evaluation (§VII–VIII plus the §X UTS study) on the virtual
 // 16×8 cluster and prints them next to the paper's reported values.
 //
+// Independent simulation cells run on a GOMAXPROCS-sized worker pool;
+// the emitted tables are byte-identical for a given seed regardless of
+// the worker count (use -workers 1 to force sequential execution).
+//
 //	distws-experiments                 # the full evaluation at default scale
 //	distws-experiments -only fig5      # one experiment
 //	distws-experiments -scale 4        # 4x larger workloads (slower)
+//	distws-experiments -workers 1      # disable the parallel harness
+//	distws-experiments -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,13 +35,29 @@ func main() {
 
 func run() error {
 	var (
-		seed  = flag.Int64("seed", 1, "workload and scheduler seed")
-		scale = flag.Int("scale", 1, "workload scale multiplier")
-		only  = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts")
+		seed       = flag.Int64("seed", 1, "workload and scheduler seed")
+		scale      = flag.Int("scale", 1, "workload scale multiplier")
+		only       = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts")
+		workers    = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	r := expt.New(suite.Scale(*scale), *seed)
+	r.Workers = *workers
 	type ex struct {
 		name string
 		run  func() (string, error)
@@ -72,5 +96,17 @@ func run() error {
 	}
 	fmt.Printf("regenerated %d experiment(s) in %v (virtual cluster %s, scale %dx, seed %d)\n",
 		ran, time.Since(start).Round(time.Millisecond), r.Cluster, *scale, *seed)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
 	return nil
 }

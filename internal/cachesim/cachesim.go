@@ -16,20 +16,27 @@ package cachesim
 
 // Cache is a fixed-capacity LRU set of block IDs. Not safe for concurrent
 // use: each worker owns one cache, mirroring private L1s.
+//
+// Internally the LRU list is intrusive over a preallocated slab of nodes
+// indexed by int32, with a map from block ID to slab index. Once the slab
+// is full every insertion reuses the evicted node in place, so steady-state
+// operation — including Reset — allocates nothing: Touch is on the
+// simulator's per-task hot path, where a pointer-based list would create
+// one garbage node per miss.
 type Cache struct {
 	capacity int
-	// Intrusive LRU: map into ring of nodes. We keep it simple with a
-	// doubly linked list threaded through a slice-backed node pool.
-	nodes map[uint64]*node
-	head  *node // most recently used
-	tail  *node // least recently used
-	refs  int64
-	miss  int64
+	idx      map[uint64]int32
+	slab     []node
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
+	used     int32 // slab nodes in use; nodes [0, used) are live
+	refs     int64
+	miss     int64
 }
 
 type node struct {
 	block      uint64
-	prev, next *node
+	prev, next int32 // slab indices, -1 terminated
 }
 
 // New returns a cache holding at most capacity blocks. Capacity must be
@@ -38,32 +45,43 @@ func New(capacity int) *Cache {
 	if capacity <= 0 {
 		panic("cachesim: capacity must be positive")
 	}
-	return &Cache{capacity: capacity, nodes: make(map[uint64]*node, capacity)}
+	return &Cache{
+		capacity: capacity,
+		idx:      make(map[uint64]int32, capacity),
+		slab:     make([]node, capacity),
+		head:     -1,
+		tail:     -1,
+	}
 }
 
 // Capacity returns the configured block capacity.
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Len returns the number of resident blocks.
-func (c *Cache) Len() int { return len(c.nodes) }
+func (c *Cache) Len() int { return int(c.used) }
 
 // Touch references one block, returning true on a hit. On a miss the block
 // is installed, evicting the least recently used block if necessary.
 func (c *Cache) Touch(block uint64) bool {
 	c.refs++
-	if n, ok := c.nodes[block]; ok {
-		c.moveToFront(n)
+	if i, ok := c.idx[block]; ok {
+		c.moveToFront(i)
 		return true
 	}
 	c.miss++
-	n := &node{block: block}
-	c.nodes[block] = n
-	c.pushFront(n)
-	if len(c.nodes) > c.capacity {
-		lru := c.tail
-		c.unlink(lru)
-		delete(c.nodes, lru.block)
+	var i int32
+	if int(c.used) < c.capacity {
+		i = c.used
+		c.used++
+	} else {
+		// Full: reuse the LRU node in place.
+		i = c.tail
+		c.unlink(i)
+		delete(c.idx, c.slab[i].block)
 	}
+	c.slab[i].block = block
+	c.idx[block] = i
+	c.pushFront(i)
 	return false
 }
 
@@ -82,7 +100,7 @@ func (c *Cache) TouchAll(blocks []uint64) (hits, misses int) {
 
 // Contains reports whether block is resident without touching it.
 func (c *Cache) Contains(block uint64) bool {
-	_, ok := c.nodes[block]
+	_, ok := c.idx[block]
 	return ok
 }
 
@@ -97,43 +115,48 @@ func (c *Cache) MissRate() float64 {
 	return 100 * float64(c.miss) / float64(c.refs)
 }
 
-// Reset empties the cache and zeroes the statistics.
+// Reset empties the cache and zeroes the statistics. It reuses the node
+// slab and the map's storage (clear keeps a map's buckets), so resetting
+// between runs is garbage-free.
 func (c *Cache) Reset() {
-	c.nodes = make(map[uint64]*node, c.capacity)
-	c.head, c.tail = nil, nil
+	clear(c.idx)
+	c.head, c.tail = -1, -1
+	c.used = 0
 	c.refs, c.miss = 0, 0
 }
 
-func (c *Cache) pushFront(n *node) {
-	n.prev = nil
+func (c *Cache) pushFront(i int32) {
+	n := &c.slab[i]
+	n.prev = -1
 	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+	if c.head >= 0 {
+		c.slab[c.head].prev = i
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
 	}
 }
 
-func (c *Cache) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *Cache) unlink(i int32) {
+	n := &c.slab[i]
+	if n.prev >= 0 {
+		c.slab[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		c.slab[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
 }
 
-func (c *Cache) moveToFront(n *node) {
-	if c.head == n {
+func (c *Cache) moveToFront(i int32) {
+	if c.head == i {
 		return
 	}
-	c.unlink(n)
-	c.pushFront(n)
+	c.unlink(i)
+	c.pushFront(i)
 }

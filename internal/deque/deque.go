@@ -140,23 +140,31 @@ func (d *Shared[T]) Poll() (T, bool) {
 // section, implementing the paper's chunked distributed steal (§V-B3,
 // chunk size 2). It returns nil when the deque is empty or k <= 0.
 func (d *Shared[T]) StealChunk(k int) []T {
-	if k <= 0 {
+	out := d.StealChunkAppend(nil, k)
+	if len(out) == 0 {
 		return nil
+	}
+	return out
+}
+
+// StealChunkAppend removes up to k oldest elements in one critical section
+// and appends them to dst, returning the extended slice (dst unchanged when
+// the deque is empty or k <= 0). It is the allocation-free form of
+// StealChunk: callers that steal in a loop pass a reused scratch buffer.
+func (d *Shared[T]) StealChunkAppend(dst []T, k int) []T {
+	if k <= 0 {
+		return dst
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.r.n == 0 {
-		return nil
-	}
 	if k > d.r.n {
 		k = d.r.n
 	}
-	out := make([]T, 0, k)
 	for i := 0; i < k; i++ {
 		v, _ := d.r.popFront()
-		out = append(out, v)
+		dst = append(dst, v)
 	}
-	return out
+	return dst
 }
 
 // Len returns the current number of queued elements.

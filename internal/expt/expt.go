@@ -2,9 +2,11 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distws/internal/apps"
@@ -17,15 +19,37 @@ import (
 )
 
 // Runner executes experiments against a fixed application suite and
-// cluster, caching generated traces. Safe for sequential use; the cache
-// is guarded for convenience.
+// cluster, caching generated traces. Every table and figure enumerates its
+// independent simulation cells into a job list executed by a bounded
+// worker pool (see forEach); results are collected by cell index and rows
+// are assembled in the original presentation order, so the rendered output
+// is byte-identical to a sequential run. Safe for concurrent use.
 type Runner struct {
 	Seed    int64
 	Cluster topology.Cluster
 	Apps    []apps.App
 
+	// Workers bounds how many simulation cells run concurrently. Zero
+	// means GOMAXPROCS; 1 forces fully sequential execution (useful to
+	// verify determinism or to profile a single-threaded run).
+	Workers int
+
 	mu    sync.Mutex
-	cache map[string]*trace.Graph
+	cache map[string]*traceEntry
+	// appLocks serializes trace generation per application: App.Trace
+	// implementations may use receiver fields as scratch state (e.g.
+	// turingring zeroes its flop-burn knob during generation), so two
+	// place counts of the same app must not generate concurrently.
+	appLocks map[string]*sync.Mutex
+}
+
+// traceEntry is a singleflight slot: concurrent requests for the same
+// (app, places) trace share one generation instead of racing to build
+// duplicate graphs.
+type traceEntry struct {
+	once sync.Once
+	g    *trace.Graph
+	err  error
 }
 
 // New returns a Runner over the paper suite at the given scale with the
@@ -34,29 +58,86 @@ func New(scale suite.Scale, seed int64) *Runner {
 	return &Runner{
 		Seed:    seed,
 		Cluster: topology.Paper(),
-		Apps:    suite.Paper(scale, seed),
-		cache:   make(map[string]*trace.Graph),
+		Apps:     suite.Paper(scale, seed),
+		cache:    make(map[string]*traceEntry),
+		appLocks: make(map[string]*sync.Mutex),
 	}
 }
 
 // Trace returns (and caches) app's task graph for a cluster with places
-// places.
+// places. The graph is generated exactly once per (app, places) key — even
+// under concurrent callers — and shared read-only across every policy run
+// that replays it (the simulator never mutates a graph; see
+// TestPoliciesDoNotMutateSharedGraph).
 func (r *Runner) Trace(a apps.App, places int) (*trace.Graph, error) {
 	key := fmt.Sprintf("%s/%d", a.Name(), places)
 	r.mu.Lock()
-	g, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return g, nil
+	e, ok := r.cache[key]
+	if !ok {
+		e = &traceEntry{}
+		r.cache[key] = e
 	}
-	g, err := a.Trace(places)
-	if err != nil {
-		return nil, err
+	lk, ok := r.appLocks[a.Name()]
+	if !ok {
+		lk = new(sync.Mutex)
+		r.appLocks[a.Name()] = lk
 	}
-	r.mu.Lock()
-	r.cache[key] = g
 	r.mu.Unlock()
-	return g, nil
+	e.once.Do(func() {
+		lk.Lock()
+		defer lk.Unlock()
+		e.g, e.err = a.Trace(places)
+	})
+	return e.g, e.err
+}
+
+// workers resolves the effective pool size.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs job(0..n-1) on a bounded worker pool and returns the
+// lowest-index error (so the reported failure does not depend on
+// scheduling). Jobs must be independent and write only to their own cell.
+func (r *Runner) forEach(n int, job func(i int) error) error {
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (r *Runner) simulate(a apps.App, places int, policy sched.Kind) (*sim.Result, error) {
@@ -70,6 +151,33 @@ func (r *Runner) simulate(a apps.App, places int, policy sched.Kind) (*sim.Resul
 		return nil, fmt.Errorf("expt: sim %s/%v: %w", a.Name(), policy, err)
 	}
 	return res, nil
+}
+
+// threePolicies is the presentation order of the selective-stealing
+// comparison exhibits (Tables II/III, Figs. 6/7).
+var threePolicies = [3]sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS}
+
+// perAppPolicy runs one simulation per (app, policy) cell at the full
+// cluster, fanning the |apps|×|policies| grid across the worker pool, and
+// returns results indexed [app][policy].
+func (r *Runner) perAppPolicy(appList []apps.App, policies []sched.Kind) ([][]*sim.Result, error) {
+	out := make([][]*sim.Result, len(appList))
+	for i := range out {
+		out[i] = make([]*sim.Result, len(policies))
+	}
+	err := r.forEach(len(appList)*len(policies), func(i int) error {
+		ai, ki := i/len(policies), i%len(policies)
+		res, err := r.simulate(appList[ai], r.Cluster.Places, policies[ki])
+		if err != nil {
+			return err
+		}
+		out[ai][ki] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // --------------------------------------------------------------------
@@ -88,18 +196,23 @@ type Fig3Row struct {
 // scale; at reduced scale the ratio is correspondingly larger, and the
 // comparison of interest is that it stays ≪ 1).
 func (r *Runner) Fig3() ([]Fig3Row, error) {
-	var rows []Fig3Row
-	for _, a := range r.Apps {
+	rows := make([]Fig3Row, len(r.Apps))
+	err := r.forEach(len(r.Apps), func(i int) error {
+		a := r.Apps[i]
 		res, err := r.simulate(a, r.Cluster.Places, sched.DistWS)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig3Row{
+		rows[i] = Fig3Row{
 			App:    a.Name(),
 			Steals: res.Counters.Steals(),
 			Tasks:  res.Counters.TasksExecuted,
 			Ratio:  res.Counters.StealsToTaskRatio(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -130,8 +243,17 @@ type Fig4Row struct {
 	WallMS float64
 }
 
-// Fig4 measures sequential execution times.
+// Fig4 measures sequential execution times. Trace generation is fanned out
+// across the pool, but the wall-clock measurements themselves run strictly
+// one at a time: concurrent sequential runs would contend for cores and
+// inflate each other's measured times.
 func (r *Runner) Fig4() ([]Fig4Row, error) {
+	if err := r.forEach(len(r.Apps), func(i int) error {
+		_, err := r.Trace(r.Apps[i], r.Cluster.Places)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var rows []Fig4Row
 	for _, a := range r.Apps {
 		g, err := r.Trace(a, r.Cluster.Places)
@@ -183,28 +305,40 @@ type Fig5Row struct {
 	PaperGainPct float64
 }
 
-// Fig5 sweeps places 1..16 (8 workers each) under both schedulers.
+// Fig5 sweeps places 1..16 (8 workers each) under both schedulers. The
+// |apps| × |placeCounts| × 2 cells are independent simulations and run on
+// the worker pool; rows are assembled app-major afterwards.
 func (r *Runner) Fig5(placeCounts []int) ([]Fig5Row, error) {
 	if len(placeCounts) == 0 {
 		placeCounts = []int{1, 2, 4, 8, 16}
 	}
+	policies := [2]sched.Kind{sched.X10WS, sched.DistWS}
+	perApp := len(placeCounts) * len(policies)
+	speed := make([]float64, len(r.Apps)*perApp)
+	err := r.forEach(len(speed), func(i int) error {
+		ai := i / perApp
+		pi := (i % perApp) / len(policies)
+		ki := i % len(policies)
+		res, err := r.simulate(r.Apps[ai], placeCounts[pi], policies[ki])
+		if err != nil {
+			return err
+		}
+		speed[i] = res.Speedup()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
-	for _, a := range r.Apps {
+	for ai, a := range r.Apps {
 		row := Fig5Row{App: a.Name(), PaperGainPct: PaperBestGainPct[a.Name()]}
-		for _, p := range placeCounts {
-			x10, err := r.simulate(a, p, sched.X10WS)
-			if err != nil {
-				return nil, err
-			}
-			dws, err := r.simulate(a, p, sched.DistWS)
-			if err != nil {
-				return nil, err
-			}
+		for pi, p := range placeCounts {
+			base := ai*perApp + pi*len(policies)
 			cell := Fig5Cell{
 				Places:  p,
 				Workers: p * r.Cluster.WorkersPerPlace,
-				X10WS:   x10.Speedup(),
-				DistWS:  dws.Speedup(),
+				X10WS:   speed[base],
+				DistWS:  speed[base+1],
 			}
 			row.Cells = append(row.Cells, cell)
 			if p > 1 && cell.X10WS > 0 {
@@ -252,17 +386,22 @@ type Table1Row struct {
 // Table1 reports the mean flexible-task granularity of every trace,
 // which the generators calibrate to the paper's Table I.
 func (r *Runner) Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, a := range r.Apps {
+	rows := make([]Table1Row, len(r.Apps))
+	err := r.forEach(len(r.Apps), func(i int) error {
+		a := r.Apps[i]
 		g, err := r.Trace(a, r.Cluster.Places)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			App:        a.Name(),
 			MeasuredMS: float64(apps.MeanFlexibleCostNS(g)) / 1e6,
 			PaperMS:    PaperGranularityMS[a.Name()],
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -291,20 +430,19 @@ type Table2Row struct {
 // Table2 runs the three schedulers at 128 workers and reports modelled
 // L1d miss rates.
 func (r *Runner) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, a := range r.Apps {
-		var rates [3]float64
-		for i, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
-			res, err := r.simulate(a, r.Cluster.Places, k)
-			if err != nil {
-				return nil, err
-			}
-			rates[i] = res.Counters.CacheMissRate()
+	results, err := r.perAppPolicy(r.Apps, threePolicies[:])
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(r.Apps))
+	for i, a := range r.Apps {
+		rows[i] = Table2Row{
+			App:      a.Name(),
+			X10WS:    results[i][0].Counters.CacheMissRate(),
+			DistWSNS: results[i][1].Counters.CacheMissRate(),
+			DistWS:   results[i][2].Counters.CacheMissRate(),
+			Paper:    PaperMissRates[a.Name()],
 		}
-		rows = append(rows, Table2Row{
-			App: a.Name(), X10WS: rates[0], DistWSNS: rates[1], DistWS: rates[2],
-			Paper: PaperMissRates[a.Name()],
-		})
 	}
 	return rows, nil
 }
@@ -335,20 +473,19 @@ type Table3Row struct {
 // Table3 runs the three schedulers at 128 workers and reports messages
 // transmitted across nodes.
 func (r *Runner) Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, a := range r.Apps {
-		var msgs [3]int64
-		for i, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
-			res, err := r.simulate(a, r.Cluster.Places, k)
-			if err != nil {
-				return nil, err
-			}
-			msgs[i] = res.Counters.Messages
+	results, err := r.perAppPolicy(r.Apps, threePolicies[:])
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(r.Apps))
+	for i, a := range r.Apps {
+		rows[i] = Table3Row{
+			App:      a.Name(),
+			X10WS:    results[i][0].Counters.Messages,
+			DistWSNS: results[i][1].Counters.Messages,
+			DistWS:   results[i][2].Counters.Messages,
+			Paper:    PaperMessages[a.Name()],
 		}
-		rows = append(rows, Table3Row{
-			App: a.Name(), X10WS: msgs[0], DistWSNS: msgs[1], DistWS: msgs[2],
-			Paper: PaperMessages[a.Name()],
-		})
 	}
 	return rows, nil
 }
@@ -377,17 +514,18 @@ type Fig6Row struct {
 
 // Fig6 compares the three schedulers at 128 workers.
 func (r *Runner) Fig6() ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, a := range r.Apps {
-		var s [3]float64
-		for i, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
-			res, err := r.simulate(a, r.Cluster.Places, k)
-			if err != nil {
-				return nil, err
-			}
-			s[i] = res.Speedup()
+	results, err := r.perAppPolicy(r.Apps, threePolicies[:])
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(r.Apps))
+	for i, a := range r.Apps {
+		rows[i] = Fig6Row{
+			App:      a.Name(),
+			X10WS:    results[i][0].Speedup(),
+			DistWSNS: results[i][1].Speedup(),
+			DistWS:   results[i][2].Speedup(),
 		}
-		rows = append(rows, Fig6Row{App: a.Name(), X10WS: s[0], DistWSNS: s[1], DistWS: s[2]})
 	}
 	return rows, nil
 }
@@ -419,13 +557,14 @@ type Fig7Row struct {
 // Fig7 reports per-place utilization for every app under the three
 // schedulers.
 func (r *Runner) Fig7() ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, a := range r.Apps {
-		for _, k := range []sched.Kind{sched.X10WS, sched.DistWSNS, sched.DistWS} {
-			res, err := r.simulate(a, r.Cluster.Places, k)
-			if err != nil {
-				return nil, err
-			}
+	results, err := r.perAppPolicy(r.Apps, threePolicies[:])
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig7Row, 0, len(r.Apps)*len(threePolicies))
+	for i, a := range r.Apps {
+		for ki, k := range threePolicies {
+			res := results[i][ki]
 			rows = append(rows, Fig7Row{
 				App:      a.Name(),
 				Policy:   k,
@@ -466,30 +605,27 @@ type GranRow struct {
 
 // GranularityStudy runs the five fine-grained apps at the full cluster.
 func (r *Runner) GranularityStudy() ([]GranRow, error) {
-	var rows []GranRow
-	for _, a := range suite.Micro(r.Seed) {
+	microApps := suite.Micro(r.Seed)
+	results, err := r.perAppPolicy(microApps, []sched.Kind{sched.X10WS, sched.DistWS})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]GranRow, len(microApps))
+	for i, a := range microApps {
 		g, err := r.Trace(a, r.Cluster.Places)
-		if err != nil {
-			return nil, err
-		}
-		x10, err := r.simulate(a, r.Cluster.Places, sched.X10WS)
-		if err != nil {
-			return nil, err
-		}
-		dws, err := r.simulate(a, r.Cluster.Places, sched.DistWS)
 		if err != nil {
 			return nil, err
 		}
 		row := GranRow{
 			App:    a.Name(),
 			GranMS: float64(apps.MeanFlexibleCostNS(g)) / 1e6,
-			X10WS:  x10.Speedup(),
-			DistWS: dws.Speedup(),
+			X10WS:  results[i][0].Speedup(),
+			DistWS: results[i][1].Speedup(),
 		}
 		if row.X10WS > 0 {
 			row.GainPct = 100 * (row.DistWS - row.X10WS) / row.X10WS
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].GranMS > rows[j].GranMS })
 	return rows, nil
@@ -528,19 +664,24 @@ func (r *Runner) UTSStudy() ([]UTSRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []UTSRow
-	for _, k := range []sched.Kind{sched.RandomWS, sched.LifelineWS, sched.DistWS} {
-		res, err := sim.Run(g, r.Cluster, k, sim.Options{Seed: r.Seed})
+	policies := []sched.Kind{sched.RandomWS, sched.LifelineWS, sched.DistWS}
+	rows := make([]UTSRow, len(policies))
+	err = r.forEach(len(policies), func(i int) error {
+		res, err := sim.Run(g, r.Cluster, policies[i], sim.Options{Seed: r.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, UTSRow{
-			Policy:     k,
+		rows[i] = UTSRow{
+			Policy:     policies[i],
 			MakespanMS: float64(res.MakespanNS) / 1e6,
 			Speedup:    res.Speedup(),
 			Messages:   res.Counters.Messages,
 			Steals:     res.Counters.Steals(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

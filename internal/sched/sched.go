@@ -184,16 +184,29 @@ func VictimOrder(k Kind, self, places int, rng *rand.Rand) []int {
 	if places <= 1 || !RemoteStealing(k) {
 		return nil
 	}
-	order := make([]int, 0, places-1)
+	return AppendVictimOrder(make([]int, 0, places-1), k, self, places, rng)
+}
+
+// AppendVictimOrder appends the same victim ordering VictimOrder returns to
+// dst and returns the extended slice. It draws from rng identically, so the
+// two forms are interchangeable; the append form lets hot callers (one
+// sweep per failed steal) reuse a scratch buffer instead of allocating a
+// permutation per sweep.
+func AppendVictimOrder(dst []int, k Kind, self, places int, rng *rand.Rand) []int {
+	if places <= 1 || !RemoteStealing(k) {
+		return dst
+	}
+	start := len(dst)
 	for p := 0; p < places; p++ {
 		if p != self {
-			order = append(order, p)
+			dst = append(dst, p)
 		}
 	}
+	order := dst[start:]
 	rng.Shuffle(len(order), func(i, j int) {
 		order[i], order[j] = order[j], order[i]
 	})
-	return order
+	return dst
 }
 
 // Lifelines returns the outgoing lifeline edges of place self in a

@@ -23,7 +23,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -104,6 +103,9 @@ type Result struct {
 	MakespanNS   int64
 	SequentialNS int64
 	Counters     metrics.Snapshot
+	// Events is the number of discrete events the engine processed — the
+	// denominator for events/sec throughput reporting.
+	Events int64
 	// PlaceBusyNS is the total busy worker time per place.
 	PlaceBusyNS []int64
 	// Utilization is each place's busy fraction of the makespan in percent.
@@ -150,20 +152,6 @@ type event struct {
 	requeue bool  // evSpawn: re-enqueue after a place failure, not a fresh spawn
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() event   { return h[0] }
-
 type simWorker struct {
 	id    int
 	local int
@@ -176,8 +164,17 @@ type simWorker struct {
 	// wakePending dedups wake events so a dormant worker has at most one
 	// outstanding wake.
 	wakePending bool
-	rng         *rand.Rand
-	busyNS      int64
+	// rng drives this worker's victim selection. It is seeded lazily on the
+	// first remote-steal sweep: seeding a math/rand source costs a 607-word
+	// state initialization, which dominated short simulations when paid for
+	// all 128 workers up front, and workers that never steal remotely
+	// (X10WS, single-place clusters, never-idle workers) never consume a
+	// random number. Lazy seeding draws the identical stream.
+	rng    *rand.Rand
+	busyNS int64
+	// victims is a reusable scratch buffer for victim orderings, so the
+	// per-sweep permutation never allocates.
+	victims []int
 }
 
 type simPlace struct {
@@ -233,6 +230,34 @@ type engine struct {
 	childSpawned []bool
 	// stealTimeoutNS is the resolved per-request steal timeout.
 	stealTimeoutNS int64
+	// eventsHandled counts processed events for throughput reporting.
+	eventsHandled int64
+
+	// Reused scratch storage for the hot path, so steady-state simulation
+	// performs no per-event heap allocations:
+	//   - stealBuf receives each steal chunk (consumed within stealRemote);
+	//   - aliasBuf receives aliased block IDs (consumed within start);
+	//   - batchPool recycles evArrive payload slices after delivery.
+	stealBuf  []int
+	aliasBuf  []uint64
+	batchPool [][]int
+}
+
+// getBatch returns a recycled evArrive payload slice (possibly nil; callers
+// append into it), and putBatch returns a delivered payload to the pool.
+func (e *engine) getBatch() []int {
+	if n := len(e.batchPool); n > 0 {
+		b := e.batchPool[n-1]
+		e.batchPool = e.batchPool[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (e *engine) putBatch(b []int) {
+	if cap(b) > 0 {
+		e.batchPool = append(e.batchPool, b[:0])
+	}
 }
 
 // Run simulates graph g on cluster cl under policy, returning the run's
@@ -277,7 +302,6 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 				local:   i,
 				place:   pl,
 				curTask: -1,
-				rng:     rand.New(rand.NewSource(opts.Seed + int64(p*1000+i))),
 			}
 			pl.workers[i] = w
 			e.workers = append(e.workers, w)
@@ -300,9 +324,10 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 		e.push(event{at: 0, kind: evSpawn, taskID: r, home: home, from: -1, fromW: -1})
 	}
 
-	for len(e.events) > 0 && e.tasksDone < len(g.Tasks) {
-		ev := heap.Pop(&e.events).(event)
+	for e.events.len() > 0 && e.tasksDone < len(g.Tasks) {
+		ev := e.events.pop()
 		e.now = ev.at
+		e.eventsHandled++
 		switch ev.kind {
 		case evSpawn:
 			e.handleSpawn(ev)
@@ -328,6 +353,7 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 		MakespanNS:   e.lastDone,
 		SequentialNS: g.Sequential(),
 		Counters:     e.ctrs.Snapshot(),
+		Events:       e.eventsHandled,
 		PlaceBusyNS:  make([]int64, cl.Places),
 	}
 	for _, w := range e.workers {
@@ -349,7 +375,7 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 func (e *engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 func classOf(t *trace.Task) task.Class {
@@ -505,12 +531,14 @@ func (e *engine) handleArrive(ev event) {
 			e.push(event{at: e.now, kind: evSpawn, taskID: id,
 				home: e.aliveHome(ev.place), from: -1, fromW: -1, requeue: true})
 		}
+		e.putBatch(ev.batch)
 		return
 	}
 	for _, id := range ev.batch {
 		p.queued++
 		p.shared.Push(id)
 	}
+	e.putBatch(ev.batch)
 	p.active = true
 	p.failedSweeps = 0
 	e.wakeFor(p, true)
@@ -640,7 +668,11 @@ func (e *engine) stealRemote(w *simWorker) bool {
 	}
 	var delay int64
 	probeRTT := e.cl.Net.RoundTripNS(32, 32)
-	for _, v := range sched.VictimOrder(e.policy, w.place.id, len(e.places), w.rng) {
+	if w.rng == nil {
+		w.rng = rand.New(rand.NewSource(e.opts.Seed + int64(w.place.id*1000+w.local)))
+	}
+	w.victims = sched.AppendVictimOrder(w.victims[:0], e.policy, w.place.id, len(e.places), w.rng)
+	for _, v := range w.victims {
 		victim := e.places[v]
 		if victim.dead {
 			continue
@@ -667,8 +699,9 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		if !ok {
 			continue
 		}
-		chunk := victim.shared.StealChunk(chunkSize)
-		if chunk == nil {
+		chunk := victim.shared.StealChunkAppend(e.stealBuf[:0], chunkSize)
+		e.stealBuf = chunk[:0]
+		if len(chunk) == 0 {
 			continue
 		}
 		// Holding the victim's shared-deque lock for the removal.
@@ -682,7 +715,8 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		delay += e.cl.Net.TransferNS(bytes)
 		e.ctrs.BytesTransferred.Add(int64(bytes))
 		if len(chunk) > 1 {
-			e.push(event{at: e.now + delay, kind: evArrive, place: w.place.id, batch: chunk[1:]})
+			batch := append(e.getBatch(), chunk[1:]...)
+			e.push(event{at: e.now + delay, kind: evArrive, place: w.place.id, batch: batch})
 		}
 		e.start(w, chunk[0], delay)
 		return true
@@ -748,7 +782,7 @@ func (e *engine) serveLifelines(p *simPlace) {
 			e.ctrs.BytesTransferred.Add(int64(t.MigBytes))
 			e.ctrs.RemoteSteals.Add(1)
 			arrive := e.now + e.cl.Net.TransferNS(t.MigBytes)
-			e.push(event{at: arrive, kind: evArrive, place: q, batch: []int{id}})
+			e.push(event{at: arrive, kind: evArrive, place: q, batch: append(e.getBatch(), id)})
 		}
 	}
 }
@@ -812,7 +846,8 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 			if migrated {
 				// A migrated flexible task carries its data: it pays one
 				// cold pass at the thief (aliased blocks), then hits.
-				blocks = aliasBlocks(t.Blocks, uint64(p.id))
+				blocks = appendAliasBlocks(e.aliasBuf[:0], t.Blocks, uint64(p.id))
+				e.aliasBuf = blocks[:0]
 			}
 			for rep := 0; rep < reps; rep++ {
 				hits, misses := p.cache.TouchAll(blocks)
@@ -863,13 +898,13 @@ func childFrac(t *trace.Task, i int) float64 {
 	return float64(i+1) / float64(n+1)
 }
 
-// aliasBlocks maps block IDs into a place-specific namespace, modelling
-// that a migrated task's data is cold in the thief's cache.
-func aliasBlocks(blocks []uint64, place uint64) []uint64 {
-	out := make([]uint64, len(blocks))
+// appendAliasBlocks maps block IDs into a place-specific namespace,
+// modelling that a migrated task's data is cold in the thief's cache. The
+// aliased IDs are appended to dst so callers can reuse scratch storage.
+func appendAliasBlocks(dst []uint64, blocks []uint64, place uint64) []uint64 {
 	const placeShift = 56
-	for i, b := range blocks {
-		out[i] = b | (place+1)<<placeShift
+	for _, b := range blocks {
+		dst = append(dst, b|(place+1)<<placeShift)
 	}
-	return out
+	return dst
 }
