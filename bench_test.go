@@ -196,6 +196,43 @@ func BenchmarkSimulator128Workers(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorTracing measures what the observability subsystem
+// costs the simulator hot path: "off" runs with a nil recorder (the
+// default; the acceptance budget is ≤2% slowdown and zero extra
+// allocations vs BenchmarkSimulator128Workers), "on" with a recorder
+// attached (ring writes per event; rings are allocated once and reused
+// across same-shape runs).
+func BenchmarkSimulatorTracing(b *testing.B) {
+	r := runner()
+	app, err := suite.ByName("dmg", suite.Small, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := r.Trace(app, r.Cluster.Places)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		// One recorder across iterations: Configure reuses its rings for
+		// repeated same-shape runs, so this is steady-state recording cost.
+		rec := distws.NewTraceRecorder(distws.TraceRecorderOptions{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: 1, Recorder: rec}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEvaluationHarness regenerates the three-policy exhibits
 // (Tables II/III, Figs. 6/7 share one simulation grid) sequentially and on
 // the GOMAXPROCS worker pool, making the parallel harness speedup visible

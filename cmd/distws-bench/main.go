@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"distws/internal/apps/suite"
+	"distws/internal/cliutil"
 	"distws/internal/expt"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/sim"
 )
@@ -45,6 +47,14 @@ type report struct {
 	// at 128 virtual workers (the BenchmarkSimulator128Workers shape).
 	Simulator simBench `json:"simulator"`
 
+	// SimulatorTraced is the same run with an obs.Recorder attached, and
+	// TracingOverheadPct the ns/op cost of recording relative to Simulator.
+	// The acceptance budget lives on the recorder-off path (Simulator must
+	// not regress); the traced numbers document what turning tracing on
+	// costs.
+	SimulatorTraced    simBench `json:"simulator_traced"`
+	TracingOverheadPct float64  `json:"tracing_overhead_pct"`
+
 	// SuiteSequentialMS / SuiteParallelMS are wall-clock milliseconds for
 	// regenerating every simulator-driven exhibit with Workers=1 and with
 	// the GOMAXPROCS pool.
@@ -65,7 +75,13 @@ func run() error {
 		seed  = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale = flag.Int("scale", 1, "workload scale multiplier")
 	)
+	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer diag.Stop()
 
 	rep := report{
 		GoVersion:  runtime.Version(),
@@ -110,6 +126,30 @@ func run() error {
 		}
 	}
 
+	// The same run with event recording on. One recorder across
+	// iterations: Configure reuses its rings for repeated same-shape
+	// runs, so this measures steady-state recording cost, with the
+	// one-time ring allocation amortized like any warm-up.
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	bt := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Recorder: rec}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SimulatorTraced = simBench{
+		Name:        "Simulator128Workers/dmg/DistWS/traced",
+		Iterations:  bt.N,
+		NsPerOp:     bt.NsPerOp(),
+		AllocsPerOp: bt.AllocsPerOp(),
+		BytesPerOp:  bt.AllocedBytesPerOp(),
+	}
+	if base := rep.Simulator.NsPerOp; base > 0 {
+		rep.TracingOverheadPct = 100 * float64(bt.NsPerOp()-base) / float64(base)
+	}
+
 	// Full-evaluation wall clock, sequential then parallel, on fresh
 	// runners (each generates its own traces so the two are comparable).
 	seqMS, err := timeSuite(*scale, *seed, 1)
@@ -129,10 +169,13 @@ func run() error {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err = os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return diag.Stop()
 }
 
 // timeSuite regenerates every simulator-driven exhibit once and returns

@@ -11,18 +11,18 @@
 //	distws-experiments -scale 4        # 4x larger workloads (slower)
 //	distws-experiments -workers 1      # disable the parallel harness
 //	distws-experiments -cpuprofile cpu.prof -memprofile mem.prof
+//	distws-experiments -listen 127.0.0.1:8080   # live /debug/pprof while it runs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"distws/internal/apps/suite"
+	"distws/internal/cliutil"
 	"distws/internal/expt"
 )
 
@@ -35,26 +35,18 @@ func main() {
 
 func run() error {
 	var (
-		seed       = flag.Int64("seed", 1, "workload and scheduler seed")
-		scale      = flag.Int("scale", 1, "workload scale multiplier")
-		only       = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts")
-		workers    = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
+		scale   = flag.Int("scale", 1, "workload scale multiplier")
+		only    = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts")
+		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	)
+	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
+	if err := diag.Start(); err != nil {
+		return err
 	}
+	defer diag.Stop()
 
 	r := expt.New(suite.Scale(*scale), *seed)
 	r.Workers = *workers
@@ -96,17 +88,5 @@ func run() error {
 	}
 	fmt.Printf("regenerated %d experiment(s) in %v (virtual cluster %s, scale %dx, seed %d)\n",
 		ran, time.Since(start).Round(time.Millisecond), r.Cluster, *scale, *seed)
-
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return fmt.Errorf("memprofile: %w", err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("memprofile: %w", err)
-		}
-	}
-	return nil
+	return diag.Stop()
 }

@@ -11,6 +11,10 @@
 //	distws-node -place 0 -places 3 -addr 127.0.0.1:4242 -batches 64 &
 //	distws-node -place 1 -addr 127.0.0.1:4242 &
 //	distws-node -place 2 -addr 127.0.0.1:4242 &
+//
+// Any node can additionally serve live introspection while it runs:
+//
+//	distws-node -place 0 -places 3 -listen 127.0.0.1:8080   # /metrics, /debug/pprof
 package main
 
 import (
@@ -22,9 +26,11 @@ import (
 	"os"
 	"time"
 
+	"distws/internal/cliutil"
 	"distws/internal/comm"
 	"distws/internal/core"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/task"
 	"distws/internal/topology"
@@ -96,12 +102,24 @@ func run() error {
 		batchWait  = flag.Duration("batch-timeout", 5*time.Second, "silence before outstanding batches are re-sent")
 		crashAfter = flag.Int("crash-after", 0, "fail-stop this node after N batches (0 = never; chaos demo)")
 	)
+	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *place == 0 {
-		return coordinate(*addr, *places, *batches, *batchSz, *seed, *workers, *joinWait, *batchWait)
+	if err := diag.Start(); err != nil {
+		return err
 	}
-	return serve(*addr, *place, *workers, *crashAfter)
+	defer diag.Stop()
+
+	var err error
+	if *place == 0 {
+		err = coordinate(*addr, *places, *batches, *batchSz, *seed, *workers, *joinWait, *batchWait, diag.Server())
+	} else {
+		err = serve(*addr, *place, *workers, *crashAfter, diag.Server())
+	}
+	if err != nil {
+		return err
+	}
+	return diag.Stop()
 }
 
 // coordinator is the resilient-finish state of place 0: it tracks which
@@ -216,8 +234,9 @@ func (c *coordinator) finish(b, inside int) {
 
 // coordinate runs place 0: accept spokes, dispatch batches, gather results,
 // surviving spoke crashes and lost messages.
-func coordinate(addr string, places, batches, batchSize int, seed int64, workers int, joinWait, batchWait time.Duration) error {
+func coordinate(addr string, places, batches, batchSize int, seed int64, workers int, joinWait, batchWait time.Duration, srv *obs.Server) error {
 	var ctrs metrics.Counters
+	srv.SetMetricsSource(ctrs.Snapshot)
 	hub, err := comm.ListenHub(addr, places, &ctrs)
 	if err != nil {
 		return err
@@ -316,8 +335,9 @@ func coordinate(addr string, places, batches, batchSize int, seed int64, workers
 // serve runs a non-coordinator place: execute arriving spawns locally.
 // When crashAfter > 0 the node fail-stops (drops its connection without a
 // goodbye) after that many batches, exercising the coordinator's recovery.
-func serve(addr string, place, workers, crashAfter int) error {
+func serve(addr string, place, workers, crashAfter int, srv *obs.Server) error {
 	var ctrs metrics.Counters
+	srv.SetMetricsSource(ctrs.Snapshot)
 	spoke, err := comm.DialSpoke(addr, place, &ctrs)
 	if err != nil {
 		return err

@@ -8,6 +8,9 @@
 //	distws-run -app dmg -policy distws -mode sim -places 16 -workers 8
 //	distws-run -app quicksort -policy x10ws -mode runtime -places 4 -workers 2
 //	distws-run -app uts -mode sim -places 4 -workers 2 -crash-place 1 -crash-at 2ms -drop 0.01
+//	distws-run -app dmg -mode sim -trace dmg.trace          # record scheduling events
+//	distws-run -app dmg -mode sim -trace t.json -trace-format chrome   # open in Perfetto
+//	distws-run -app uts -mode runtime -listen 127.0.0.1:8080           # live /metrics
 //	distws-run -list
 package main
 
@@ -20,9 +23,11 @@ import (
 
 	"distws/internal/apps"
 	"distws/internal/apps/suite"
+	"distws/internal/cliutil"
 	"distws/internal/core"
 	"distws/internal/fault"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/sim"
 	"distws/internal/topology"
@@ -51,7 +56,12 @@ func run() error {
 		crashAfter = flag.Int64("crash-after-tasks", 0, "crash after this many tasks at the place (runtime mode)")
 		dropProb   = flag.Float64("drop", 0, "steal message drop probability [0,1]")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault injector")
+
+		traceOut    = flag.String("trace", "", "record scheduling events and write them to `file`")
+		traceFormat = flag.String("trace-format", "events", "trace output format: events, chrome, csv, summary")
+		traceCap    = flag.Int("trace-cap", 0, "per-worker trace ring capacity in events (0 = default)")
 	)
+	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -87,17 +97,40 @@ func run() error {
 		}
 	}
 
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer diag.Stop()
+
+	// Tracing is enabled by -trace; a live -listen endpoint also gets the
+	// recorder so /trace can dump mid-run (runtime mode).
+	var rec *obs.Recorder
+	if *traceOut != "" || diag.Server() != nil {
+		rec = obs.NewRecorder(obs.RecorderOptions{TrackCapacity: *traceCap})
+		diag.Server().SetRecorder(rec)
+	}
+
 	switch *mode {
 	case "sim":
-		return runSim(app, cl, k, *seed, plan)
+		err = runSim(app, cl, k, *seed, plan, rec, diag.Server())
 	case "runtime":
-		return runRuntime(app, cl, k, *seed, plan)
+		err = runRuntime(app, cl, k, *seed, plan, rec, diag.Server())
 	default:
 		return fmt.Errorf("unknown mode %q (want sim or runtime)", *mode)
 	}
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		if err := cliutil.WriteTraceFile(rec, *traceOut, *traceFormat, 0); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (%s, %d events dropped)\n", *traceOut, *traceFormat, rec.Dropped())
+	}
+	return diag.Stop()
 }
 
-func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan) error {
+func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
 	start := time.Now()
 	g, err := app.Trace(cl.Places)
 	if err != nil {
@@ -105,11 +138,15 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *f
 	}
 	genTime := time.Since(start)
 	start = time.Now()
-	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed, Fault: plan})
+	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed, Fault: plan, Recorder: rec})
 	if err != nil {
 		return err
 	}
 	simTime := time.Since(start)
+	// The sim is a single synchronous call: counters only exist once it
+	// returns, so a live endpoint serves the end-of-run snapshot.
+	srv.SetMetricsSource(func() metrics.Snapshot { return res.Counters })
+	srv.SetUtilizationSource(func() []float64 { return res.Utilization })
 
 	fmt.Printf("%s under %s on %s (simulated)\n\n", app.Name(), k, cl)
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -126,14 +163,16 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *f
 	return w.Flush()
 }
 
-func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan) error {
+func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
 	fmt.Printf("%s under %s on %s (real runtime; place count bounded by this host)\n\n", app.Name(), k, cl)
 	want := app.Sequential()
-	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed, Fault: plan})
+	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed, Fault: plan, Recorder: rec})
 	if err != nil {
 		return err
 	}
 	defer rt.Shutdown()
+	srv.SetMetricsSource(rt.Metrics)
+	srv.SetUtilizationSource(rt.Utilization)
 	start := time.Now()
 	got, err := app.Parallel(rt)
 	elapsed := time.Since(start)

@@ -1,0 +1,76 @@
+// Command distws-trace converts and summarizes native distws trace files
+// (the JSONL "events" format written by distws-run -trace or downloaded
+// from a live /trace?format=events endpoint).
+//
+//	distws-trace -in run.trace                         # human-readable summary
+//	distws-trace -in run.trace -format chrome -out t.json   # open in Perfetto
+//	distws-trace -in run.trace -format csv -buckets 200     # utilization timeline
+//	distws-trace -in run.trace -format events               # normalize/re-emit JSONL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"distws/internal/cliutil"
+	"distws/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distws-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "", "native trace `file` to read (- or empty = stdin)")
+		out     = flag.String("out", "", "write output to `file` (default stdout)")
+		format  = flag.String("format", "summary", "output format: summary, chrome, csv, events")
+		buckets = flag.Int("buckets", 100, "time buckets of the csv utilization timeline")
+	)
+	diag := cliutil.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer diag.Stop()
+
+	var src io.Reader = os.Stdin
+	name := "stdin"
+	if *in != "" && *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src, name = f, *in
+	}
+	td, err := obs.ReadEvents(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := td.WriteFormat(dst, *format, *buckets); err != nil {
+		return err
+	}
+	if c, ok := dst.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return diag.Stop()
+}

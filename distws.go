@@ -42,6 +42,7 @@ import (
 	"distws/internal/core"
 	"distws/internal/fault"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/task"
 	"distws/internal/topology"
@@ -72,6 +73,11 @@ type (
 	Crash = fault.Crash
 	// FaultLink overrides drop/spike behaviour for one directed link.
 	FaultLink = fault.Link
+	// TraceRecorder collects per-worker scheduling events when attached
+	// via Config.Recorder; export with its Snapshot method after the run.
+	TraceRecorder = obs.Recorder
+	// TraceRecorderOptions tunes a TraceRecorder (ring capacity).
+	TraceRecorderOptions = obs.RecorderOptions
 )
 
 // Scheduling policies.
@@ -100,6 +106,11 @@ const (
 
 // New starts a runtime; pair with Runtime.Shutdown.
 func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// NewTraceRecorder returns a scheduling-event recorder for
+// Config.Recorder. Tracing is off unless one is attached; a recording
+// runtime stamps events with wall-clock nanoseconds since New.
+func NewTraceRecorder(opts TraceRecorderOptions) *TraceRecorder { return obs.NewRecorder(opts) }
 
 // ParsePolicy resolves a case-insensitive policy name such as "distws",
 // "x10ws", "distws-ns", "random", or "lifeline".

@@ -1,0 +1,133 @@
+// Package cliutil holds the diagnostic flag plumbing shared by every
+// cmd/ binary: file-based pprof profiles (-cpuprofile, -memprofile) and
+// the live HTTP introspection listener (-listen, serving /metrics,
+// /debug/pprof, and /trace via internal/obs). Factoring it here keeps
+// the four mains from each re-implementing profile lifecycle handling.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"distws/internal/obs"
+)
+
+// Diagnostics carries the parsed diagnostic flags and the resources
+// Start opened. Create with RegisterFlags before flag.Parse; pair
+// Start with a deferred Stop.
+type Diagnostics struct {
+	cpuprofile string
+	memprofile string
+	listen     string
+
+	cpuFile *os.File
+	server  *obs.Server
+	stopped bool
+}
+
+// RegisterFlags registers the shared diagnostic flags on fs (typically
+// flag.CommandLine) and returns the holder to Start after parsing.
+func RegisterFlags(fs *flag.FlagSet) *Diagnostics {
+	d := &Diagnostics{}
+	fs.StringVar(&d.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	fs.StringVar(&d.memprofile, "memprofile", "", "write a pprof heap profile at exit to `file`")
+	fs.StringVar(&d.listen, "listen", "", "serve live introspection on `addr`: /metrics, /debug/pprof, /trace")
+	return d
+}
+
+// Start begins CPU profiling and the introspection listener, as
+// requested by the parsed flags. Both are optional; with no diagnostic
+// flags set Start does nothing.
+func (d *Diagnostics) Start() error {
+	if d.cpuprofile != "" {
+		f, err := os.Create(d.cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		d.cpuFile = f
+	}
+	if d.listen != "" {
+		srv, err := obs.ListenAndServe(d.listen)
+		if err != nil {
+			d.Stop()
+			return err
+		}
+		d.server = srv
+		fmt.Fprintf(os.Stderr, "diagnostics: serving http://%s/metrics, /debug/pprof, /trace\n", srv.Addr())
+	}
+	return nil
+}
+
+// Server returns the live introspection server, or nil when -listen was
+// not given. Callers attach metrics/utilization/trace sources once the
+// runtime producing them exists.
+func (d *Diagnostics) Server() *obs.Server { return d.server }
+
+// Stop finishes CPU profiling, writes the heap profile if one was
+// requested, and closes the listener. Idempotent, so it can be both
+// deferred (cleanup on error paths) and called explicitly (to surface
+// profile-write errors on the success path).
+func (d *Diagnostics) Stop() error {
+	if d.stopped {
+		return nil
+	}
+	d.stopped = true
+	var first error
+	if d.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := d.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		d.cpuFile = nil
+	}
+	if d.memprofile != "" {
+		if err := writeHeapProfile(d.memprofile); err != nil && first == nil {
+			first = err
+		}
+	}
+	if d.server != nil {
+		if err := d.server.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.server = nil
+	}
+	return first
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+// WriteTraceFile snapshots rec and writes it to path in the given
+// format ("events", "chrome", "csv", or "summary") — the shared tail of
+// every binary that records a trace.
+func WriteTraceFile(rec *obs.Recorder, path, format string, csvBuckets int) error {
+	if !rec.Enabled() {
+		return fmt.Errorf("trace: recorder was never attached to a run")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := rec.Snapshot().WriteFormat(f, format, csvBuckets); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -7,6 +7,7 @@ import (
 
 	"distws/internal/cachesim"
 	"distws/internal/deque"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/task"
 )
@@ -132,6 +133,7 @@ func (p *place) enqueue(a *activity, target sched.Target, spawner *worker) {
 // (thief) place's shared deque so co-located workers can pick them up
 // without their own distributed steal (§V-B3).
 func (p *place) enqueueStolen(chunk []*activity) {
+	p.rt.record(p.id, 0, obs.KindArrive, -1, int32(len(chunk)), 0)
 	for _, a := range chunk {
 		p.queued.Add(1)
 		p.shared.Push(a)
@@ -224,6 +226,7 @@ func (w *worker) loop() {
 		if a == nil {
 			w.place.noteFailedSweep()
 			rt.counters.FailedSteals.Add(1)
+			rt.record(w.place.id, w.local, obs.KindStealFail, -1, 0, 0)
 			if rt.cfg.Policy == sched.LifelineWS {
 				w.registerLifelines()
 			}
@@ -265,6 +268,7 @@ func (w *worker) findWork() (*activity, stealKind) {
 		peer := p.workers[(w.local+off)%len(p.workers)]
 		if a, ok := peer.priv.Steal(); ok {
 			p.queued.Add(-1)
+			p.rt.record(p.id, w.local, obs.KindStealLocal, -1, int32(peer.local), 0)
 			return a, tookLocalSteal
 		}
 	}
@@ -292,6 +296,12 @@ func (w *worker) findWork() (*activity, stealKind) {
 func (w *worker) stealRemote() *activity {
 	rt := w.place.rt
 	chunkSize := sched.RemoteChunk(rt.cfg.Policy)
+	// Acquisition latency (probe round trips, backoff waits, transfer) is
+	// only measured when tracing is on; the disabled path stays clock-free.
+	var sweepStart time.Time
+	if rt.rec != nil {
+		sweepStart = time.Now()
+	}
 	for _, v := range sched.VictimOrder(rt.cfg.Policy, w.place.id, len(rt.places), w.rng) {
 		victim := rt.places[v]
 		if victim.dead.Load() {
@@ -303,6 +313,10 @@ func (w *worker) stealRemote() *activity {
 		}
 		victim.queued.Add(-int32(len(chunk)))
 		rt.counters.RemoteSteals.Add(int64(len(chunk)))
+		if rt.rec != nil {
+			rt.rec.Record(w.place.id, w.local, obs.KindStealRemote, -1, int32(v),
+				time.Since(sweepStart).Nanoseconds())
+		}
 		var bytes int64
 		for _, a := range chunk {
 			bytes += int64(a.loc.MigrationBytes)
@@ -327,9 +341,11 @@ func (w *worker) probeVictim(victim *place, chunkSize int) []*activity {
 	for attempt := 0; ; attempt++ {
 		rt.counters.RemoteProbes.Add(1)
 		rt.counters.Messages.Add(2) // steal-req + steal-resp
+		rt.record(w.place.id, w.local, obs.KindProbe, -1, int32(victim.id), 0)
 		if rt.inj.Drop(w.place.id, victim.id) || rt.inj.Drop(victim.id, w.place.id) {
 			rt.counters.DroppedMessages.Add(1)
 			rt.counters.StealTimeouts.Add(1)
+			rt.record(w.place.id, w.local, obs.KindTimeout, -1, int32(victim.id), 0)
 			if attempt+1 >= rt.cfg.StealMaxAttempts {
 				return nil
 			}
@@ -413,6 +429,7 @@ func (w *worker) run(a *activity, how stealKind) {
 		rt.counters.CacheMisses.Add(int64(misses))
 	}
 
+	rt.record(p.id, w.local, obs.KindTaskStart, -1, int32(a.home), 0)
 	start := time.Now()
 	ctx := &Ctx{rt: rt, placeID: p.id, worker: w, fin: a.fin}
 	func() {
@@ -424,7 +441,9 @@ func (w *worker) run(a *activity, how stealKind) {
 		}()
 		a.body(ctx)
 	}()
-	rt.util.AddBusy(p.id, time.Since(start).Nanoseconds())
+	elapsed := time.Since(start).Nanoseconds()
+	rt.util.AddBusy(p.id, elapsed)
+	rt.record(p.id, w.local, obs.KindTaskEnd, -1, 0, elapsed)
 	rt.counters.TasksExecuted.Add(1)
 	p.running.Add(-1)
 

@@ -22,6 +22,7 @@ import (
 
 	"distws/internal/fault"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/task"
 	"distws/internal/topology"
@@ -60,6 +61,11 @@ type Config struct {
 	// StealMaxAttempts bounds the requests sent to one victim (first try
 	// plus backoff retries). Defaults to 3.
 	StealMaxAttempts int
+	// Recorder, when non-nil, receives per-worker scheduling events
+	// (activity start/end, spawns, steal attempts and outcomes, chunk
+	// arrivals, crashes) stamped in wall-clock nanoseconds since New.
+	// Nil (the default) records nothing and costs one branch per event.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +97,7 @@ type Runtime struct {
 	places   []*place
 	counters metrics.Counters
 	util     *metrics.Utilization
+	rec      *obs.Recorder // scheduling-event recorder (nil = tracing off)
 
 	// inj evaluates the injected fault plan (nil-safe when fault-free);
 	// down records which places have failed, for victim exclusion and
@@ -119,9 +126,14 @@ func New(cfg Config) (*Runtime, error) {
 	rt := &Runtime{
 		cfg:     cfg,
 		util:    metrics.NewUtilization(cfg.Cluster.Places),
+		rec:     cfg.Recorder,
 		inj:     fault.NewInjector(cfg.Fault),
 		down:    fault.NewDownSet(cfg.Cluster.Places),
 		started: time.Now(),
+	}
+	if rt.rec != nil {
+		rt.rec.Configure(cfg.Cluster.Places, cfg.Cluster.WorkersPerPlace,
+			obs.WallClockSince(rt.started), obs.WallNS)
 	}
 	rt.places = make([]*place, cfg.Cluster.Places)
 	for p := range rt.places {
@@ -144,6 +156,14 @@ func (rt *Runtime) Policy() sched.Kind { return rt.cfg.Policy }
 
 // Metrics returns a snapshot of the run's counters.
 func (rt *Runtime) Metrics() metrics.Snapshot { return rt.counters.Snapshot() }
+
+// record logs one scheduling event when tracing is on. The nil check is
+// the disabled fast path: one predictable branch, no call, no allocation.
+func (rt *Runtime) record(place, worker int, k obs.Kind, taskID, arg int32, dur int64) {
+	if rt.rec != nil {
+		rt.rec.Record(place, worker, k, taskID, arg, dur)
+	}
+}
 
 // Utilization returns per-place busy fractions since New, in percent.
 func (rt *Runtime) Utilization() []float64 {
@@ -196,6 +216,7 @@ func (rt *Runtime) spawn(a *activity, from int, spawner *worker) {
 		a.home = rt.down.NextAlive(a.home)
 	}
 	home := rt.places[a.home]
+	rt.record(a.home, 0, obs.KindSpawn, -1, int32(from), 0)
 	if from >= 0 && from != a.home {
 		rt.counters.Messages.Add(1)
 		rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
@@ -215,6 +236,7 @@ func (rt *Runtime) crashPlace(p *place) {
 	}
 	rt.down.MarkDown(p.id)
 	rt.counters.PlacesLost.Add(1)
+	rt.record(p.id, 0, obs.KindCrash, -1, 0, 0)
 	p.wakeAll() // idle workers notice the death and exit
 	rt.rescue(p)
 }

@@ -1,0 +1,247 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"distws/internal/core"
+	"distws/internal/obs"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/topology"
+	"distws/internal/trace"
+)
+
+// simTrace runs a flat flexible workload on the simulator with a
+// recorder attached and returns both the simulator result and the trace.
+func simTrace(t *testing.T, places, workers, tasks int) (*sim.Result, *obs.TraceData) {
+	t.Helper()
+	b := trace.NewBuilder("flat")
+	for i := 0; i < tasks; i++ {
+		b.Root(trace.Task{CostNS: 1_000_000, Home: i % places, Flexible: true})
+	}
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatalf("building graph: %v", err)
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = places, workers
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	res, err := sim.Run(g, cl, sched.DistWS, sim.Options{Seed: 7, Recorder: rec})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	td := rec.Snapshot()
+	if td == nil {
+		t.Fatal("recorder attached to sim produced no snapshot")
+	}
+	return res, td
+}
+
+func TestSimTraceMatchesResult(t *testing.T) {
+	res, td := simTrace(t, 4, 2, 200)
+	if td.Unit != obs.VirtualNS {
+		t.Fatalf("sim trace unit = %q, want %q", td.Unit, obs.VirtualNS)
+	}
+	if td.Dropped != 0 {
+		t.Fatalf("small run dropped %d events", td.Dropped)
+	}
+	var starts, ends int
+	for _, ev := range td.Events {
+		switch ev.Kind {
+		case obs.KindTaskStart:
+			starts++
+		case obs.KindTaskEnd:
+			ends++
+		}
+	}
+	if int64(starts) != res.Counters.TasksExecuted || starts != ends {
+		t.Fatalf("trace has %d starts / %d ends, counters executed %d",
+			starts, ends, res.Counters.TasksExecuted)
+	}
+	if _, end := td.Span(); end != res.MakespanNS {
+		t.Fatalf("trace span end = %d, result makespan = %d", end, res.MakespanNS)
+	}
+}
+
+// TestSimChromeExport is the tentpole acceptance check: the Chrome
+// export of a traced sim run must round-trip encoding/json and name one
+// track per place×worker.
+func TestSimChromeExport(t *testing.T) {
+	const places, workers = 4, 2
+	_, td := simTrace(t, places, workers, 200)
+	var buf bytes.Buffer
+	if err := td.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome export does not round-trip encoding/json: %v", err)
+	}
+	named := map[string]bool{}
+	for _, ev := range evs {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			named[ev["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	if len(named) != places*workers {
+		t.Fatalf("chrome export names %d tracks, want %d", len(named), places*workers)
+	}
+	for p := 0; p < places; p++ {
+		for w := 0; w < workers; w++ {
+			if !named[fmt.Sprintf("place %d worker %d", p, w)] {
+				t.Fatalf("missing track for place %d worker %d", p, w)
+			}
+		}
+	}
+}
+
+// TestSimUtilizationWithinOnePercent is the other acceptance check: the
+// event-derived busy fractions (and the CSV built from them) must match
+// the simulator's counter-derived Result.Utilization within 1%.
+func TestSimUtilizationWithinOnePercent(t *testing.T) {
+	res, td := simTrace(t, 4, 2, 400)
+	got := td.BusyFractions()
+	if len(got) != len(res.Utilization) {
+		t.Fatalf("trace has %d places, result %d", len(got), len(res.Utilization))
+	}
+	for p := range got {
+		if diff := math.Abs(got[p] - res.Utilization[p]); diff > 1 {
+			t.Fatalf("place %d: trace busy %.3f%% vs result %.3f%% (diff %.3f > 1%%)",
+				p, got[p], res.Utilization[p], diff)
+		}
+	}
+
+	// The CSV timeline, time-averaged per place, equals the same fractions.
+	var buf bytes.Buffer
+	if err := td.WriteUtilizationCSV(&buf, 50); err != nil {
+		t.Fatalf("WriteUtilizationCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv has no rows: %q", buf.String())
+	}
+	sums := make([]float64, len(got))
+	var span float64
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 2+len(got) {
+			t.Fatalf("csv row has %d columns, want %d: %q", len(cols), 2+len(got), line)
+		}
+		lo, _ := strconv.ParseFloat(cols[0], 64)
+		hi, _ := strconv.ParseFloat(cols[1], 64)
+		span += hi - lo
+		for p := range got {
+			f, err := strconv.ParseFloat(cols[2+p], 64)
+			if err != nil {
+				t.Fatalf("csv cell %q: %v", cols[2+p], err)
+			}
+			sums[p] += f * (hi - lo)
+		}
+	}
+	for p := range got {
+		avg := sums[p] / span
+		if diff := math.Abs(avg - res.Utilization[p]); diff > 1 {
+			t.Fatalf("place %d: csv-average busy %.3f%% vs result %.3f%% (diff %.3f > 1%%)",
+				p, avg, res.Utilization[p], diff)
+		}
+	}
+}
+
+func TestSimRecorderObservesRemoteSteals(t *testing.T) {
+	// All work homed at place 0: other places must steal remotely.
+	b := trace.NewBuilder("skew")
+	for i := 0; i < 300; i++ {
+		b.Root(trace.Task{CostNS: 500_000, Home: 0, Flexible: true})
+	}
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Paper()
+	cl.Places, cl.WorkersPerPlace = 4, 2
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	res, err := sim.Run(g, cl, sched.DistWS, sim.Options{Seed: 7, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One KindStealRemote event per stolen chunk; the chunk's remainder
+	// travels as a KindArrive whose Arg is the batch size. The counter
+	// counts stolen tasks, so: tasks = chunks + Σ arrive sizes.
+	var chunks, probes, arrived int64
+	for _, ev := range rec.Snapshot().Events {
+		switch ev.Kind {
+		case obs.KindStealRemote:
+			chunks++
+			if ev.Dur <= 0 {
+				t.Fatalf("remote steal with non-positive latency: %+v", ev)
+			}
+		case obs.KindProbe:
+			probes++
+		case obs.KindArrive:
+			arrived += int64(ev.Arg)
+		}
+	}
+	if res.Counters.RemoteSteals == 0 {
+		t.Skip("workload produced no remote steals; nothing to check")
+	}
+	if got := chunks + arrived; got != res.Counters.RemoteSteals {
+		t.Fatalf("trace accounts for %d stolen tasks (%d chunks + %d arrivals), counter %d",
+			got, chunks, arrived, res.Counters.RemoteSteals)
+	}
+	if probes < chunks {
+		t.Fatalf("probes %d < successful steal chunks %d", probes, chunks)
+	}
+}
+
+func TestCoreRuntimeRecordsEvents(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	rt, err := core.New(core.Config{
+		Cluster:  topology.Cluster{Places: 2, WorkersPerPlace: 2},
+		Policy:   sched.DistWS,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	err = rt.Run(func(ctx *core.Ctx) {
+		ctx.Finish(func(c *core.Ctx) {
+			for i := 0; i < 32; i++ {
+				c.AsyncAny(i%2, func(*core.Ctx) {})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := rec.Snapshot()
+	if td.Unit != obs.WallNS {
+		t.Fatalf("core trace unit = %q, want %q", td.Unit, obs.WallNS)
+	}
+	var starts, ends, spawns int
+	for _, ev := range td.Events {
+		switch ev.Kind {
+		case obs.KindTaskStart:
+			starts++
+		case obs.KindTaskEnd:
+			ends++
+			if ev.Dur < 0 {
+				t.Fatalf("task end with negative duration: %+v", ev)
+			}
+		case obs.KindSpawn:
+			spawns++
+		}
+	}
+	if starts == 0 || starts != ends {
+		t.Fatalf("core trace has %d starts / %d ends", starts, ends)
+	}
+	if spawns == 0 {
+		t.Fatal("core trace recorded no spawns")
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"distws/internal/metrics"
+)
+
+// Server is the live introspection endpoint: a plain-HTTP listener
+// serving Prometheus-style counter exposition, Go pprof profiles, and
+// on-demand trace dumps for a running distws process.
+//
+//	/metrics            counter exposition (metrics.Snapshot) + utilization gauges
+//	/debug/pprof/...    the standard Go profiling endpoints
+//	/trace              Chrome trace-event JSON dump of the recorder
+//	/trace?format=...   events (native JSONL), csv, or summary
+//
+// Sources are settable after the listener is up because the runtime they
+// come from is usually constructed later in main(); unset sources render
+// an explanatory comment rather than an error so scrapes never flap
+// during startup.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu       sync.RWMutex
+	snapshot func() metrics.Snapshot
+	util     func() []float64
+	rec      *Recorder
+}
+
+// ListenAndServe starts an introspection server on addr (host:port;
+// port 0 picks a free one). The server runs until Close.
+func ListenAndServe(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// SetMetricsSource installs the counter snapshot the /metrics endpoint
+// exposes. Nil-safe on a nil server.
+func (s *Server) SetMetricsSource(fn func() metrics.Snapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snapshot = fn
+	s.mu.Unlock()
+}
+
+// SetUtilizationSource installs the per-place busy-fraction gauge
+// source appended to /metrics. Nil-safe on a nil server.
+func (s *Server) SetUtilizationSource(fn func() []float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.util = fn
+	s.mu.Unlock()
+}
+
+// SetRecorder installs the recorder behind /trace. Nil-safe on a nil
+// server.
+func (s *Server) SetRecorder(rec *Recorder) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	snapshot, util := s.snapshot, s.util
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if snapshot == nil {
+		fmt.Fprintln(w, "# distws: no metrics source attached yet")
+		return
+	}
+	if err := snapshot().WritePrometheus(w); err != nil {
+		return
+	}
+	if util != nil {
+		metrics.WriteUtilizationPrometheus(w, util())
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	rec := s.rec
+	s.mu.RUnlock()
+	if !rec.Enabled() {
+		http.Error(w, "distws: no trace recorder attached (run with tracing enabled)", http.StatusNotFound)
+		return
+	}
+	td := rec.Snapshot()
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "chrome"
+	}
+	contentTypes := map[string]string{
+		"chrome":  "application/json",
+		"events":  "application/x-ndjson",
+		"csv":     "text/csv",
+		"summary": "text/plain; charset=utf-8",
+	}
+	ct, ok := contentTypes[format]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown format %q (want chrome, events, csv, or summary)", format), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	td.WriteFormat(w, format, 100)
+}

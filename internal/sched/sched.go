@@ -209,6 +209,19 @@ func AppendVictimOrder(dst []int, k Kind, self, places int, rng *rand.Rand) []in
 	return dst
 }
 
+// StealDistance returns the distance between a thief and its victim in
+// the linear place ordering — the x-axis of steal-distance histograms
+// (the paper's cluster is a single switch, so hop count is uniform and
+// index distance is the meaningful locality measure: how far from its
+// home community a stolen task landed). Negative only on invalid input.
+func StealDistance(thief, victim int) int {
+	d := thief - victim
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
 // Lifelines returns the outgoing lifeline edges of place self in a
 // hypercube lifeline graph over places nodes (Saraswat et al.): neighbours
 // obtained by flipping each bit position below the next power of two,

@@ -30,6 +30,7 @@ import (
 	"distws/internal/deque"
 	"distws/internal/fault"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sched"
 	"distws/internal/task"
 	"distws/internal/topology"
@@ -74,6 +75,13 @@ type Options struct {
 	// StealMaxAttempts bounds the per-victim request attempts (the first
 	// try plus retries under exponential backoff). Zero picks 3.
 	StealMaxAttempts int
+	// Recorder, when non-nil, receives per-worker scheduling events
+	// (task start/end, spawns, steal attempts and outcomes, chunk
+	// arrivals, crashes) stamped in virtual nanoseconds. Run configures
+	// it for the cluster shape and drives its clock from the event loop;
+	// export the trace with obs.Recorder.Snapshot after Run returns.
+	// Nil (the default) records nothing and costs one branch per event.
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -232,6 +240,8 @@ type engine struct {
 	stealTimeoutNS int64
 	// eventsHandled counts processed events for throughput reporting.
 	eventsHandled int64
+	// rec receives scheduling events in virtual time (nil = tracing off).
+	rec *obs.Recorder
 
 	// Reused scratch storage for the hot path, so steady-state simulation
 	// performs no per-event heap allocations:
@@ -279,6 +289,13 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 	}
 
 	e := &engine{g: g, cl: cl, policy: policy, opts: opts}
+	e.rec = opts.Recorder
+	// Events are stamped with the event loop's virtual time via RecordAt
+	// (every record call runs inside its event's handler, so e.now is
+	// exactly the event's timestamp). No Clock is installed: a closure
+	// over the engine would force it to escape to the heap even with
+	// tracing off.
+	e.rec.Configure(cl.Places, cl.WorkersPerPlace, nil, obs.VirtualNS)
 	e.inj = fault.NewInjector(opts.Fault)
 	e.resolvedHome = make([]int, len(g.Tasks))
 	e.childSpawned = make([]bool, len(g.Tasks))
@@ -378,6 +395,15 @@ func (e *engine) push(ev event) {
 	e.events.push(ev)
 }
 
+// record logs one scheduling event at the current virtual time when
+// tracing is on. The nil check is the disabled fast path: one
+// predictable branch, no call, no allocation.
+func (e *engine) record(place, worker int, k obs.Kind, taskID, arg int32, dur int64) {
+	if e.rec != nil {
+		e.rec.RecordAt(e.now, place, worker, k, taskID, arg, dur)
+	}
+}
+
 func classOf(t *trace.Task) task.Class {
 	if t.Flexible {
 		return task.Flexible
@@ -414,6 +440,7 @@ func (e *engine) handleSpawn(ev event) {
 	if !ev.requeue {
 		e.ctrs.TasksSpawned.Add(1)
 	}
+	e.record(ev.home, 0, obs.KindSpawn, int32(ev.taskID), int32(ev.from), 0)
 
 	if ev.from >= 0 && ev.from != ev.home {
 		// Cross-place async: ship the task and its payload.
@@ -508,6 +535,7 @@ func (e *engine) handleDone(ev event) {
 	w.place.executed++
 	e.tasksDone++
 	e.ctrs.TasksExecuted.Add(1)
+	e.record(w.place.id, w.local, obs.KindTaskEnd, int32(ev.taskID), 0, 0)
 	if e.now > e.lastDone {
 		e.lastDone = e.now
 	}
@@ -534,6 +562,7 @@ func (e *engine) handleArrive(ev event) {
 		e.putBatch(ev.batch)
 		return
 	}
+	e.record(ev.place, 0, obs.KindArrive, -1, int32(len(ev.batch)), 0)
 	for _, id := range ev.batch {
 		p.queued++
 		p.shared.Push(id)
@@ -598,6 +627,7 @@ func (e *engine) crashPlace(p *simPlace) {
 		}
 	}
 
+	e.record(p.id, 0, obs.KindCrash, -1, int32(len(orphans)), 0)
 	for i, id := range orphans {
 		e.ctrs.TasksReExecuted.Add(1)
 		delay := e.cl.Net.TransferNS(e.g.Tasks[id].MigBytes)
@@ -627,6 +657,7 @@ func (e *engine) findWork(w *simWorker) {
 		if id, ok := peer.priv.Steal(); ok {
 			p.queued--
 			e.ctrs.LocalSteals.Add(1)
+			e.record(p.id, w.local, obs.KindStealLocal, int32(id), int32(peer.local), 0)
 			e.start(w, id, over.LocalStealNS)
 			return
 		}
@@ -646,6 +677,7 @@ func (e *engine) findWork(w *simWorker) {
 	}
 	// Nothing found: note the failed sweep and go dormant.
 	e.ctrs.FailedSteals.Add(1)
+	e.record(p.id, w.local, obs.KindStealFail, -1, 0, 0)
 	p.failedSweeps++
 	if p.failedSweeps >= sched.FailedStealQuiesceThreshold(e.cl.WorkersPerPlace) {
 		p.active = false
@@ -681,10 +713,12 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		for attempt := 0; ; attempt++ {
 			e.ctrs.RemoteProbes.Add(1)
 			e.ctrs.Messages.Add(2)
+			e.record(w.place.id, w.local, obs.KindProbe, -1, int32(v), 0)
 			if e.inj.Drop(w.place.id, v) || e.inj.Drop(v, w.place.id) {
 				// Request or reply lost: the thief burns a full timeout.
 				e.ctrs.DroppedMessages.Add(1)
 				e.ctrs.StealTimeouts.Add(1)
+				e.record(w.place.id, w.local, obs.KindTimeout, -1, int32(v), e.stealTimeoutNS<<attempt)
 				delay += e.stealTimeoutNS << attempt
 				if attempt+1 >= e.opts.StealMaxAttempts {
 					ok = false
@@ -714,6 +748,7 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		}
 		delay += e.cl.Net.TransferNS(bytes)
 		e.ctrs.BytesTransferred.Add(int64(bytes))
+		e.record(w.place.id, w.local, obs.KindStealRemote, int32(chunk[0]), int32(v), delay)
 		if len(chunk) > 1 {
 			batch := append(e.getBatch(), chunk[1:]...)
 			e.push(event{at: e.now + delay, kind: evArrive, place: w.place.id, batch: batch})
@@ -797,6 +832,7 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 	p.running++
 	p.active = true
 	p.failedSweeps = 0
+	e.record(p.id, w.local, obs.KindTaskStart, int32(id), int32(e.resolvedHome[id]), 0)
 
 	service := startDelay
 	if e.policy == sched.DistWS || e.policy == sched.DistWSNS {
