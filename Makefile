@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke chaos
+.PHONY: all build test race vet check bench bench-smoke fuzz-smoke chaos
 
 all: check
 
@@ -25,14 +25,21 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkSimulator128Workers -benchtime=1x .
 
+# 30-second coverage-guided shake of the binary wire codec: every TCP
+# frame crosses DecodeFrame/ReadFrame, so malformed input must only ever
+# produce typed errors, never a panic or an over-allocation.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWireFrame -fuzztime=30s ./internal/comm
+
 # The gate a change must pass before merging.
-check: build vet test race bench-smoke
+check: build vet test race bench-smoke fuzz-smoke
 
 # Full measurement: refreshes the machine-readable perf baseline
-# (BENCH_sim.json) and prints the per-exhibit Go benchmarks.
+# (BENCH_sim.json) and prints the per-exhibit Go benchmarks, including the
+# wire-codec-vs-gob microbenchmarks.
 bench:
 	$(GO) run ./cmd/distws-bench -out BENCH_sim.json
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . ./internal/comm
 
 # Fault-injection suite only (also part of `test`).
 chaos:

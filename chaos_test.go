@@ -5,13 +5,21 @@
 package distws_test
 
 import (
+	"encoding/binary"
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"distws"
 	"distws/internal/apps/suite"
+	"distws/internal/comm"
 	"distws/internal/fault"
+	"distws/internal/metrics"
+	"distws/internal/node"
 	"distws/internal/sched"
 	"distws/internal/sim"
+	"distws/internal/task"
 	"distws/internal/topology"
 )
 
@@ -119,5 +127,127 @@ func TestChaosRuntimeApps(t *testing.T) {
 			}
 			rt.Shutdown()
 		}
+	}
+}
+
+// TestChaosMeshNode runs the distributed batch protocol over the
+// peer-to-peer tcp-mesh transport with one executor fail-stopping after
+// two batches. The coordinator must detect the crash through the mesh's
+// typed place-down surface, re-dispatch the orphaned batches, and still
+// account every result exactly once.
+func TestChaosMeshNode(t *testing.T) {
+	const places, batches, crashPlace = 4, 24, 2
+
+	reg := task.NewRegistry()
+	reg.Register("chaos.echo", func([]byte) error { return nil })
+	echo := func(arg []byte) []byte {
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, binary.BigEndian.Uint64(arg)*7+1)
+		return out
+	}
+
+	// Pre-bind every listener so the address list is race-free.
+	lns := make([]net.Listener, places)
+	addrs := make([]string, places)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var ctrs metrics.Counters
+	nodes := make([]*comm.TCPMesh, places)
+	for i := range nodes {
+		opts := comm.MeshOptions{Listener: lns[i]}
+		if i == 0 {
+			opts.Counters = &ctrs
+		}
+		n, err := comm.ListenMeshTCP(addrs, i, opts)
+		if err != nil {
+			t.Fatalf("mesh %d: %v", i, err)
+		}
+		nodes[i] = n
+		t.Cleanup(func() { n.Close() })
+	}
+	if err := nodes[0].AwaitTimeout(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 1; p < places; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crashAfter := 0
+			if p == crashPlace {
+				crashAfter = 2
+			}
+			ex := &node.Executor{
+				Node:     nodes[p],
+				Place:    p,
+				Registry: reg,
+				Run: func(_ string, arg []byte) ([]byte, error) {
+					return echo(arg), nil
+				},
+				CrashAfter: crashAfter,
+			}
+			ex.Serve()
+			if p == crashPlace {
+				// Fail-stop: the process dies, taking its connections along.
+				nodes[p].Close()
+			}
+		}()
+	}
+
+	work := make([]node.Batch, batches)
+	for i := range work {
+		arg := make([]byte, 8)
+		binary.BigEndian.PutUint64(arg, uint64(i))
+		work[i] = node.Batch{ID: i, Arg: arg}
+	}
+	calls := make(map[int]int)
+	results := make(map[int]uint64)
+	coord := &node.Coordinator{
+		Node:     nodes[0],
+		Places:   places,
+		Counters: &ctrs,
+		TaskName: "chaos.echo",
+		RunLocal: func(arg []byte) ([]byte, error) {
+			return echo(arg), nil
+		},
+		OnResult: func(id int, result []byte) {
+			calls[id]++
+			results[id] = binary.BigEndian.Uint64(result)
+		},
+		RetryAfter: 300 * time.Millisecond,
+	}
+	if err := coord.Run(work); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+
+	if len(results) != batches {
+		t.Fatalf("accounted %d of %d batches", len(results), batches)
+	}
+	for id := 0; id < batches; id++ {
+		if calls[id] != 1 {
+			t.Errorf("batch %d accounted %d times, want exactly once", id, calls[id])
+		}
+		if want := uint64(id)*7 + 1; results[id] != want {
+			t.Errorf("batch %d result %d, want %d", id, results[id], want)
+		}
+	}
+	s := ctrs.Snapshot()
+	if s.PlacesLost != 1 {
+		t.Errorf("PlacesLost = %d, want 1 (the fail-stopped executor)", s.PlacesLost)
+	}
+	if s.TasksReExecuted == 0 {
+		t.Errorf("crash with outstanding batches re-dispatched nothing")
+	}
+	if !nodes[0].Down(crashPlace) {
+		t.Errorf("coordinator's mesh node should have marked place %d down", crashPlace)
 	}
 }

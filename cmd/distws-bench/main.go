@@ -9,6 +9,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +21,7 @@ import (
 
 	"distws/internal/apps/suite"
 	"distws/internal/cliutil"
+	"distws/internal/comm"
 	"distws/internal/expt"
 	"distws/internal/obs"
 	"distws/internal/sched"
@@ -60,6 +63,95 @@ type report struct {
 	// the GOMAXPROCS pool.
 	SuiteSequentialMS float64 `json:"suite_sequential_ms"`
 	SuiteParallelMS   float64 `json:"suite_parallel_ms"`
+
+	// WireCodec compares the hand-rolled binary frame codec the TCP
+	// transports speak (internal/comm wire.go) against the gob stream it
+	// replaced, per message over a representative mix (an empty steal
+	// probe and a 64-byte spawn). The codec must hold a >= 2x advantage on
+	// at least one axis.
+	WireCodec codecBench `json:"wire_codec"`
+}
+
+// codecBench is the binary-codec-vs-gob comparison in BENCH_sim.json.
+type codecBench struct {
+	WireNsPerMsg    int64   `json:"wire_ns_per_msg"`
+	WireBytesPerMsg int64   `json:"wire_bytes_per_msg"`
+	GobNsPerMsg     int64   `json:"gob_ns_per_msg"`
+	GobBytesPerMsg  int64   `json:"gob_bytes_per_msg"`
+	NsRatio         float64 `json:"gob_over_wire_ns"`
+	BytesRatio      float64 `json:"gob_over_wire_bytes"`
+}
+
+// codecMessages is the message mix both codecs are measured over: the
+// empty steal probe that dominates control traffic and a small spawn.
+func codecMessages() []comm.Message {
+	return []comm.Message{
+		{Kind: comm.KindStealReq, From: 3, To: 7, Seq: 42},
+		{Kind: comm.KindSpawn, From: 0, To: 5, Seq: 99, Payload: bytes.Repeat([]byte{0xAB}, 64)},
+	}
+}
+
+// benchCodec measures encode+decode round trips per message for the wire
+// codec and for a steady-state gob stream (one encoder/decoder pair, type
+// descriptors amortized — the old transport's shape).
+func benchCodec() (codecBench, error) {
+	msgs := codecMessages()
+	var cb codecBench
+
+	var wireBytes int
+	for _, m := range msgs {
+		wireBytes += comm.FrameLen(m)
+	}
+	cb.WireBytesPerMsg = int64(wireBytes / len(msgs))
+
+	wr := testing.Benchmark(func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			m := msgs[i%len(msgs)]
+			buf = comm.AppendFrame(buf[:0], m)
+			if _, _, err := comm.DecodeFrame(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cb.WireNsPerMsg = wr.NsPerOp()
+
+	// Gob steady-state byte cost: stream many messages through one encoder
+	// and take the mean, so the one-time type descriptor is amortized the
+	// way a long-lived connection would amortize it.
+	const stream = 1000
+	var gobBuf bytes.Buffer
+	enc := gob.NewEncoder(&gobBuf)
+	for i := 0; i < stream; i++ {
+		if err := enc.Encode(msgs[i%len(msgs)]); err != nil {
+			return cb, err
+		}
+	}
+	cb.GobBytesPerMsg = int64(gobBuf.Len() / stream)
+
+	gr := testing.Benchmark(func(b *testing.B) {
+		var buf bytes.Buffer
+		e := gob.NewEncoder(&buf)
+		d := gob.NewDecoder(&buf)
+		var m comm.Message
+		for i := 0; i < b.N; i++ {
+			if err := e.Encode(msgs[i%len(msgs)]); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Decode(&m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cb.GobNsPerMsg = gr.NsPerOp()
+
+	if cb.WireNsPerMsg > 0 {
+		cb.NsRatio = float64(cb.GobNsPerMsg) / float64(cb.WireNsPerMsg)
+	}
+	if cb.WireBytesPerMsg > 0 {
+		cb.BytesRatio = float64(cb.GobBytesPerMsg) / float64(cb.WireBytesPerMsg)
+	}
+	return cb, nil
 }
 
 func main() {
@@ -162,6 +254,10 @@ func run() error {
 	}
 	rep.SuiteSequentialMS = seqMS
 	rep.SuiteParallelMS = parMS
+
+	if rep.WireCodec, err = benchCodec(); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,16 +1,32 @@
 // Command distws-node runs DistWS places as separate OS processes over
-// TCP, demonstrating the transport layer (internal/comm) and the remote
-// task registry (internal/task) on a real network. Place 0 is the
-// coordinator (hub); other places dial it.
+// TCP, demonstrating the transport layer (internal/comm), the remote task
+// registry (internal/task), and the resilient batch protocol
+// (internal/node) on a real network.
+//
+// The transport is selected with -transport:
+//
+//   - tcp-hub (default): star topology. Place 0 listens on -addr, every
+//     other place dials it, and spoke-to-spoke traffic is routed through
+//     the hub (two hops).
+//   - tcp-mesh: peer-to-peer. Every place listens on its own entry of the
+//     comma-separated -addrs list, links are dialed lazily per place pair,
+//     and all traffic is one hop with per-link write coalescing.
 //
 // A built-in demo workload — Monte-Carlo estimation of π in flexible
-// batches — is dispatched by the coordinator across all places; each node
-// executes its batches on a local DistWS runtime and sends the results
-// back. Start a 3-place cluster:
+// batches — is dispatched by the coordinator (place 0) across all places;
+// each node executes its batches on a local DistWS runtime and sends the
+// results back. Start a 3-place hub cluster:
 //
 //	distws-node -place 0 -places 3 -addr 127.0.0.1:4242 -batches 64 &
 //	distws-node -place 1 -addr 127.0.0.1:4242 &
 //	distws-node -place 2 -addr 127.0.0.1:4242 &
+//
+// Or the same cluster as a mesh:
+//
+//	A=127.0.0.1:4242,127.0.0.1:4243,127.0.0.1:4244
+//	distws-node -transport tcp-mesh -addrs $A -place 0 -batches 64 &
+//	distws-node -transport tcp-mesh -addrs $A -place 1 &
+//	distws-node -transport tcp-mesh -addrs $A -place 2 &
 //
 // Any node can additionally serve live introspection while it runs:
 //
@@ -20,17 +36,17 @@ package main
 import (
 	"bytes"
 	"encoding/gob"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"distws/internal/cliutil"
 	"distws/internal/comm"
 	"distws/internal/core"
 	"distws/internal/metrics"
-	"distws/internal/obs"
+	"distws/internal/node"
 	"distws/internal/sched"
 	"distws/internal/task"
 	"distws/internal/topology"
@@ -91,30 +107,57 @@ func main() {
 
 func run() error {
 	var (
+		transport  = flag.String("transport", "tcp-hub", "cluster transport: tcp-hub or tcp-mesh")
 		place      = flag.Int("place", 0, "this node's place id (0 = coordinator)")
-		places     = flag.Int("places", 3, "total places (coordinator only)")
-		addr       = flag.String("addr", "127.0.0.1:4242", "coordinator address")
+		places     = flag.Int("places", 3, "total places (tcp-hub coordinator only; tcp-mesh derives it from -addrs)")
+		addr       = flag.String("addr", "127.0.0.1:4242", "coordinator address (tcp-hub)")
+		addrs      = flag.String("addrs", "", "comma-separated per-place listen addresses (tcp-mesh)")
 		batches    = flag.Int("batches", 64, "π batches to dispatch (coordinator only)")
 		batchSz    = flag.Int("batch-size", 200_000, "samples per batch")
 		seed       = flag.Int64("seed", 1, "sampling seed")
 		workers    = flag.Int("workers", 2, "local workers per node")
-		joinWait   = flag.Duration("join-timeout", 30*time.Second, "how long the coordinator waits for spokes")
+		joinWait   = flag.Duration("join-timeout", 30*time.Second, "how long the coordinator waits for nodes")
 		batchWait  = flag.Duration("batch-timeout", 5*time.Second, "silence before outstanding batches are re-sent")
 		crashAfter = flag.Int("crash-after", 0, "fail-stop this node after N batches (0 = never; chaos demo)")
 	)
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	tr, err := comm.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	if tr == comm.TransportInproc {
+		return fmt.Errorf("inproc runs in one process — use the distws library directly; pick tcp-hub or tcp-mesh here")
+	}
+	cfg := comm.NodeConfig{Transport: tr, Place: *place, Places: *places, Addr: *addr}
+	if tr == comm.TransportTCPMesh {
+		if *addrs == "" {
+			return fmt.Errorf("tcp-mesh needs -addrs (comma-separated, one per place)")
+		}
+		cfg.Addrs = strings.Split(*addrs, ",")
+		cfg.Places = len(cfg.Addrs)
+	}
+
 	if err := diag.Start(); err != nil {
 		return err
 	}
 	defer diag.Stop()
 
-	var err error
+	var ctrs metrics.Counters
+	diag.Server().SetMetricsSource(ctrs.Snapshot)
+	cfg.Counters = &ctrs
+
+	n, err := comm.Open(cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+
 	if *place == 0 {
-		err = coordinate(*addr, *places, *batches, *batchSz, *seed, *workers, *joinWait, *batchWait, diag.Server())
+		err = coordinate(n, cfg, &ctrs, *batches, *batchSz, *seed, *workers, *joinWait, *batchWait)
 	} else {
-		err = serve(*addr, *place, *workers, *crashAfter, diag.Server())
+		err = serve(n, cfg, *place, *workers, *crashAfter, *joinWait)
 	}
 	if err != nil {
 		return err
@@ -122,209 +165,62 @@ func run() error {
 	return diag.Stop()
 }
 
-// coordinator is the resilient-finish state of place 0: it tracks which
-// batch is outstanding at which place, re-dispatches when a place dies or
-// goes silent, and deduplicates results so at-least-once dispatch still
-// sums every batch exactly once.
-type coordinator struct {
-	hub    *comm.Hub
-	local  *core.Runtime
-	ctrs   *metrics.Counters
-	places int
-
-	alive       []bool
-	outstanding map[int]map[int]piArgs // place -> batch -> args
-	got         map[int]bool           // batches whose result is summed
-	pending     int
-	totalInside int
-}
-
-// dispatch sends batch b to the first alive place at or after preferred
-// (skipping the coordinator), executing locally when no spoke survives.
-func (c *coordinator) dispatch(b int, args piArgs, preferred int) error {
-	for try := 0; try < c.places; try++ {
-		dest := (preferred + try) % c.places
-		if dest == 0 || !c.alive[dest] {
-			continue
-		}
-		env := &task.Envelope{Name: "demo.pi", Arg: encode(args), Home: dest, Origin: 0, Class: task.Flexible}
-		payload, err := env.Encode()
-		if err != nil {
-			return err
-		}
-		err = c.hub.Send(comm.Message{Kind: comm.KindSpawn, To: dest, Seq: uint64(b), Payload: payload})
-		if errors.Is(err, comm.ErrPlaceDown) {
-			if err := c.markDown(dest); err != nil {
-				return err
-			}
-			continue
-		}
-		if err != nil {
-			return err
-		}
-		if c.outstanding[dest] == nil {
-			c.outstanding[dest] = make(map[int]piArgs)
-		}
-		c.outstanding[dest][b] = args
-		return nil
-	}
-	n, err := runLocalBatch(c.local, args)
-	if err != nil {
-		return err
-	}
-	c.finish(b, n)
-	return nil
-}
-
-// markDown records a place's failure and re-dispatches every batch that was
-// outstanding there.
-func (c *coordinator) markDown(p int) error {
-	if p <= 0 || p >= c.places || !c.alive[p] {
-		return nil
-	}
-	c.alive[p] = false
-	c.ctrs.PlacesLost.Add(1)
-	orphans := c.outstanding[p]
-	delete(c.outstanding, p)
-	fmt.Printf("coordinator: place %d down, re-dispatching %d batch(es)\n", p, len(orphans))
-	for b, args := range orphans {
-		c.ctrs.TasksReExecuted.Add(1)
-		if err := c.dispatch(b, args, p+1); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// retryOutstanding re-sends every outstanding batch after a silent period —
-// the per-request timeout of the dispatch protocol.
-func (c *coordinator) retryOutstanding() error {
-	type entry struct {
-		place, batch int
-		args         piArgs
-	}
-	var stale []entry
-	for p, m := range c.outstanding {
-		for b, args := range m {
-			stale = append(stale, entry{p, b, args})
-		}
-	}
-	for _, e := range stale {
-		if c.got[e.batch] {
-			continue // completed while we were resending
-		}
-		c.ctrs.Retries.Add(1)
-		delete(c.outstanding[e.place], e.batch)
-		if err := c.dispatch(e.batch, e.args, e.place); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// finish sums a batch result exactly once.
-func (c *coordinator) finish(b, inside int) {
-	if c.got[b] {
-		return
-	}
-	c.got[b] = true
-	c.totalInside += inside
-	c.pending--
-}
-
-// coordinate runs place 0: accept spokes, dispatch batches, gather results,
-// surviving spoke crashes and lost messages.
-func coordinate(addr string, places, batches, batchSize int, seed int64, workers int, joinWait, batchWait time.Duration, srv *obs.Server) error {
-	var ctrs metrics.Counters
-	srv.SetMetricsSource(ctrs.Snapshot)
-	hub, err := comm.ListenHub(addr, places, &ctrs)
-	if err != nil {
-		return err
-	}
-	defer hub.Close()
-	fmt.Printf("coordinator: listening on %s, waiting for %d node(s)\n", hub.Addr(), places-1)
-	if err := hub.AwaitTimeout(joinWait); err != nil {
+// coordinate runs place 0: await the cluster, dispatch batches through the
+// protocol coordinator, and report the estimate.
+func coordinate(n comm.Node, cfg comm.NodeConfig, ctrs *metrics.Counters, batches, batchSize int, seed int64, workers int, joinWait, batchWait time.Duration) error {
+	fmt.Printf("coordinator: %s on %s, waiting for %d node(s)\n", cfg.Transport, listenAddr(cfg), cfg.Places-1)
+	if err := n.AwaitTimeout(joinWait); err != nil {
 		return err
 	}
 	fmt.Println("coordinator: cluster complete, dispatching")
 
 	start := time.Now()
-	// Dispatch batches round robin over places 1..P-1 and keep a share
-	// locally (the coordinator is a worker too).
+	// The coordinator is a worker too: it keeps a share of the batches on
+	// its own local runtime.
 	local, err := newLocalRuntime(workers)
 	if err != nil {
 		return err
 	}
 	defer local.Shutdown()
 
-	c := &coordinator{
-		hub:         hub,
-		local:       local,
-		ctrs:        &ctrs,
-		places:      places,
-		alive:       make([]bool, places),
-		outstanding: make(map[int]map[int]piArgs),
-		got:         make(map[int]bool),
-		pending:     batches,
+	work := make([]node.Batch, batches)
+	for b := range work {
+		work[b] = node.Batch{ID: b, Arg: encode(piArgs{Batch: b, BatchSize: batchSize, Seed: seed})}
 	}
-	for p := 1; p < places; p++ {
-		c.alive[p] = true
-	}
-
-	for b := 0; b < batches; b++ {
-		args := piArgs{Batch: b, BatchSize: batchSize, Seed: seed}
-		if b%places == 0 {
-			n, err := runLocalBatch(local, args)
+	totalInside := 0
+	coord := &node.Coordinator{
+		Node:     n,
+		Places:   cfg.Places,
+		Counters: ctrs,
+		TaskName: "demo.pi",
+		RunLocal: func(arg []byte) ([]byte, error) {
+			inside, err := runLocalBatch(local, decodePi(arg))
 			if err != nil {
-				return err
+				return nil, err
 			}
-			c.finish(b, n)
-			continue
-		}
-		if err := c.dispatch(b, args, b%places); err != nil {
-			return err
-		}
+			return encode(piResult{Inside: inside}), nil
+		},
+		OnResult: func(id int, result []byte) {
+			var res piResult
+			if err := gob.NewDecoder(bytes.NewReader(result)).Decode(&res); err != nil {
+				return // malformed reply: the batch is accounted, contributes nothing
+			}
+			totalInside += res.Inside
+		},
+		RetryAfter: batchWait,
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
+	}
+	if err := coord.Run(work); err != nil {
+		return err
 	}
 
-	for c.pending > 0 {
-		select {
-		case m, ok := <-hub.Inbox():
-			if !ok {
-				return fmt.Errorf("hub inbox closed with %d batches outstanding", c.pending)
-			}
-			switch m.Kind {
-			case comm.KindPlaceDown:
-				if err := c.markDown(m.From); err != nil {
-					return err
-				}
-			case comm.KindSpawnDone:
-				var res piResult
-				if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&res); err != nil {
-					return err
-				}
-				if om := c.outstanding[m.From]; om != nil {
-					delete(om, res.Batch)
-				}
-				c.finish(res.Batch, res.Inside)
-			}
-		case <-time.After(batchWait):
-			fmt.Printf("coordinator: no progress for %v, re-sending %d batch(es)\n", batchWait, c.pending)
-			if err := c.retryOutstanding(); err != nil {
-				return err
-			}
-		}
-	}
-	// Tell the surviving nodes to exit.
-	for p := 1; p < places; p++ {
-		if c.alive[p] {
-			hub.Send(comm.Message{Kind: comm.KindShutdown, To: p})
-		}
-	}
 	samples := batches * batchSize
-	pi := 4 * float64(c.totalInside) / float64(samples)
+	pi := 4 * float64(totalInside) / float64(samples)
 	s := ctrs.Snapshot()
 	fmt.Printf("π ≈ %.6f from %d samples over %d places in %v (%d messages, %d bytes)\n",
-		pi, samples, places, time.Since(start).Round(time.Millisecond), s.Messages, s.BytesTransferred)
+		pi, samples, cfg.Places, time.Since(start).Round(time.Millisecond), s.Messages, s.BytesTransferred)
 	if s.PlacesLost > 0 {
 		fmt.Printf("recovered from %d place failure(s): %d batches re-dispatched, %d retried\n",
 			s.PlacesLost, s.TasksReExecuted, s.Retries)
@@ -333,17 +229,11 @@ func coordinate(addr string, places, batches, batchSize int, seed int64, workers
 }
 
 // serve runs a non-coordinator place: execute arriving spawns locally.
-// When crashAfter > 0 the node fail-stops (drops its connection without a
-// goodbye) after that many batches, exercising the coordinator's recovery.
-func serve(addr string, place, workers, crashAfter int, srv *obs.Server) error {
-	var ctrs metrics.Counters
-	srv.SetMetricsSource(ctrs.Snapshot)
-	spoke, err := comm.DialSpoke(addr, place, &ctrs)
-	if err != nil {
+func serve(n comm.Node, cfg comm.NodeConfig, place, workers, crashAfter int, joinWait time.Duration) error {
+	if err := n.AwaitTimeout(joinWait); err != nil {
 		return err
 	}
-	defer spoke.Close()
-	fmt.Printf("node %d: joined %s\n", place, addr)
+	fmt.Printf("node %d: joined %s cluster\n", place, cfg.Transport)
 
 	local, err := newLocalRuntime(workers)
 	if err != nil {
@@ -351,40 +241,32 @@ func serve(addr string, place, workers, crashAfter int, srv *obs.Server) error {
 	}
 	defer local.Shutdown()
 
-	done := 0
-	for m := range spoke.Inbox() {
-		switch m.Kind {
-		case comm.KindShutdown:
-			fmt.Printf("node %d: done after %d batches\n", place, done)
-			return nil
-		case comm.KindSpawn:
-			env, err := task.DecodeEnvelope(m.Payload)
-			if err != nil {
-				return err
-			}
-			if _, ok := task.DefaultRegistry.Lookup(env.Name); !ok {
-				return fmt.Errorf("node %d: unknown remote task %q", place, env.Name)
-			}
-			var args piArgs
-			if err := gob.NewDecoder(bytes.NewReader(env.Arg)).Decode(&args); err != nil {
-				return err
-			}
+	ex := &node.Executor{
+		Node:  n,
+		Place: place,
+		Run: func(_ string, arg []byte) ([]byte, error) {
+			args := decodePi(arg)
 			inside, err := runLocalBatch(local, args)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			reply := encode(piResult{Batch: args.Batch, Inside: inside})
-			if err := spoke.Send(comm.Message{Kind: comm.KindSpawnDone, To: env.Origin, Seq: m.Seq, Payload: reply}); err != nil {
-				return err
-			}
-			done++
-			if crashAfter > 0 && done >= crashAfter {
-				fmt.Printf("node %d: fail-stop after %d batches\n", place, done)
-				return nil
-			}
-		}
+			return encode(piResult{Batch: args.Batch, Inside: inside}), nil
+		},
+		CrashAfter: crashAfter,
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
 	}
-	return nil
+	_, err = ex.Serve()
+	return err
+}
+
+// listenAddr names the address this node is reachable on, for logs.
+func listenAddr(cfg comm.NodeConfig) string {
+	if cfg.Transport == comm.TransportTCPMesh {
+		return cfg.Addrs[cfg.Place]
+	}
+	return cfg.Addr
 }
 
 // newLocalRuntime builds the single-place DistWS runtime a node executes
@@ -422,6 +304,14 @@ func runLocalBatch(rt *core.Runtime, args piArgs) (int, error) {
 		total += r
 	}
 	return total, nil
+}
+
+func decodePi(arg []byte) piArgs {
+	var a piArgs
+	if err := gob.NewDecoder(bytes.NewReader(arg)).Decode(&a); err != nil {
+		panic(fmt.Sprintf("demo.pi argument: %v", err)) // validated at dispatch
+	}
+	return a
 }
 
 func encode(v any) []byte {

@@ -36,9 +36,33 @@
 // (intra-place stealing only), DistWSNS (non-selective distributed
 // stealing), RandomWS and LifelineWS (the UTS baselines from the paper's
 // related-work study).
+//
+// # Transports
+//
+// A Runtime hosts every place in one process over the in-process
+// transport (TransportInproc, the Config.Transport zero value). The
+// distributed transports — TransportTCPHub (star topology, place 0
+// routes) and TransportTCPMesh (peer-to-peer, lazily dialed links, write
+// coalescing) — connect one process per place; they are opened by the
+// node layer, not by New. See cmd/distws-node and its -transport flag.
+// ParseTransport resolves the flag spellings "inproc", "tcp-hub", and
+// "tcp-mesh".
+//
+// # Cancellation
+//
+// RunContext bounds a run by a context: on cancellation it returns
+// ctx.Err() immediately, while activities that were already spawned keep
+// draining on the worker pool in the background — a cancelled run's side
+// effects may therefore still complete. ShutdownContext bounds the wait
+// for worker exit the same way; the stop signal itself is always
+// delivered. Errors surface typed: ErrShutdown from a run on a shut-down
+// runtime, ErrPlaceDown (carrying the place id via PlaceDownError) from
+// sends to a failed place, ErrBackpressure from shed steal traffic. All
+// match with errors.Is.
 package distws
 
 import (
+	"distws/internal/comm"
 	"distws/internal/core"
 	"distws/internal/fault"
 	"distws/internal/metrics"
@@ -78,6 +102,40 @@ type (
 	TraceRecorder = obs.Recorder
 	// TraceRecorderOptions tunes a TraceRecorder (ring capacity).
 	TraceRecorderOptions = obs.RecorderOptions
+	// Transport selects the inter-place message layer (Config.Transport).
+	Transport = comm.Transport
+	// PlaceDownError is the concrete error behind ErrPlaceDown; it carries
+	// the id of the failed place.
+	PlaceDownError = comm.PlaceDownError
+	// BackpressureError is the concrete error behind ErrBackpressure; it
+	// carries the id of the congested place.
+	BackpressureError = comm.BackpressureError
+)
+
+// Transports for Config.Transport and comm.Open.
+const (
+	// TransportInproc connects places through in-process channels — the
+	// default, and the only transport a single-process Runtime accepts.
+	TransportInproc = comm.TransportInproc
+	// TransportTCPHub is the star topology: one process per place, place 0
+	// routes all spoke-to-spoke traffic (two hops).
+	TransportTCPHub = comm.TransportTCPHub
+	// TransportTCPMesh is the peer-to-peer topology: one process per
+	// place, direct lazily-dialed links, one hop.
+	TransportTCPMesh = comm.TransportTCPMesh
+)
+
+// Typed error surface. Match with errors.Is; see the package comment's
+// Cancellation section for semantics.
+var (
+	// ErrShutdown is returned by Run/RunContext on a shut-down runtime.
+	ErrShutdown = core.ErrShutdown
+	// ErrPlaceDown reports routing to a place whose link has failed; the
+	// concrete error is a *PlaceDownError.
+	ErrPlaceDown = comm.ErrPlaceDown
+	// ErrBackpressure reports a steal message shed at a full queue; the
+	// concrete error is a *BackpressureError.
+	ErrBackpressure = comm.ErrBackpressure
 )
 
 // Scheduling policies.
@@ -115,6 +173,10 @@ func NewTraceRecorder(opts TraceRecorderOptions) *TraceRecorder { return obs.New
 // ParsePolicy resolves a case-insensitive policy name such as "distws",
 // "x10ws", "distws-ns", "random", or "lifeline".
 func ParsePolicy(s string) (Policy, error) { return sched.Parse(s) }
+
+// ParseTransport resolves a case-insensitive transport name: "inproc",
+// "tcp-hub", or "tcp-mesh".
+func ParseTransport(s string) (Transport, error) { return comm.ParseTransport(s) }
 
 // PaperCluster returns the evaluation platform of the paper (§VII):
 // 16 places × 8 workers = 128 workers.

@@ -1,16 +1,26 @@
-// Package comm provides the inter-place message layer of the runtime. Two
-// interchangeable transports implement the same Endpoint interface:
+// Package comm provides the inter-place message layer of the runtime.
+// Three interchangeable transports implement the same Endpoint interface,
+// selected by a Transport value (ParseTransport resolves flag strings):
 //
-//   - Mesh: in-process channels, used when all places live in one OS
-//     process (the common library configuration). Messages still flow
-//     through explicit envelopes so that the message and byte counters of
-//     Table III are meaningful.
-//   - TCP: a star-topology transport (place 0 is the hub) with gob-framed
-//     messages, used by cmd/distws-node to run places as separate OS
-//     processes on a real network.
+//   - TransportInproc (Mesh): in-process channels, used when all places
+//     live in one OS process (the common library configuration). Messages
+//     still flow through explicit envelopes so that the message and byte
+//     counters of Table III are meaningful.
+//   - TransportTCPHub (Hub/Spoke): a star-topology transport (place 0 is
+//     the hub) where spoke-to-spoke traffic transits the hub — two hops.
+//   - TransportTCPMesh (TCPMesh): a peer-to-peer transport where every
+//     place listens and links are dialed lazily on first send — one hop,
+//     with per-link write coalescing under load.
+//
+// Both TCP transports frame messages with the length-prefixed binary
+// codec in wire.go; gob survives only inside user task payloads, which
+// this package treats as opaque bytes. Open builds the distributed
+// transports from a NodeConfig; cmd/distws-node is the reference user.
 //
 // Every send increments the shared metrics.Counters: one message plus the
-// payload bytes. This is the accounting source for the paper's Table III.
+// payload bytes. This is the accounting source for the paper's Table III —
+// which is why the hub's second hop and the mesh's single hop are visible
+// in the message counts.
 package comm
 
 import (
@@ -93,6 +103,23 @@ func (e *PlaceDownError) Error() string { return fmt.Sprintf("comm: place %d dow
 // Is makes errors.Is(err, ErrPlaceDown) match.
 func (e *PlaceDownError) Is(target error) bool { return target == ErrPlaceDown }
 
+// ErrBackpressure is the sentinel for a lossy send shed because the
+// destination inbox (Mesh) or link queue (TCPMesh) was full. Only steal
+// traffic is ever shed — the thief's timeout-and-retry machinery absorbs
+// the loss; reliable kinds block instead. Match with errors.Is; the
+// concrete error is a *BackpressureError carrying the congested place.
+var ErrBackpressure = errors.New("comm: destination queue full")
+
+// BackpressureError reports which destination place was congested.
+type BackpressureError struct{ Place int }
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("comm: place %d inbox full, steal message shed", e.Place)
+}
+
+// Is makes errors.Is(err, ErrBackpressure) match.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
 // lossy reports whether injected message loss may apply to k. Only the
 // steal protocol tolerates silent loss (the thief times out and retries);
 // spawn, completion, and control traffic must be delivered for finish
@@ -103,8 +130,11 @@ func lossy(k Kind) bool { return k == KindStealReq || k == KindStealResp }
 type Endpoint interface {
 	// Place returns the place id this endpoint serves.
 	Place() int
-	// Send routes m (by m.To) to the destination endpoint. It blocks only
-	// if the destination inbox is full.
+	// Send routes m (by m.To) to the destination endpoint. When the
+	// destination queue is full, lossy steal traffic is shed with a typed
+	// ErrBackpressure (the thief's retry machinery recovers) and reliable
+	// traffic may block until space frees up; either case increments the
+	// Backpressure counter. Sends to a failed place return ErrPlaceDown.
 	Send(m Message) error
 	// Inbox delivers messages addressed to this place. The channel closes
 	// when the endpoint is closed.
@@ -194,6 +224,21 @@ func (m *Mesh) send(msg Message) (err error) {
 			err = ErrClosed
 		}
 	}()
+	select {
+	case inbox <- msg:
+		return nil
+	default:
+	}
+	// Inbox full. Historically this blocked for every kind, which silently
+	// turned a congested steal victim into a stalled thief; now congestion
+	// is counted, lossy traffic is shed with a typed error, and only
+	// traffic that must be delivered (spawn, completion, control) blocks.
+	if m.counters != nil {
+		m.counters.Backpressure.Add(1)
+	}
+	if lossy(msg.Kind) {
+		return &BackpressureError{Place: msg.To}
+	}
 	inbox <- msg
 	return nil
 }

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -97,6 +98,51 @@ func TestMeshConcurrentSenders(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatalf("timed out draining inbox")
+	}
+}
+
+func TestMeshBackpressure(t *testing.T) {
+	var ctrs metrics.Counters
+	m := NewMesh(2, 1, &ctrs) // single-slot inbox: second send congests
+	a := m.Endpoint(0)
+	if err := a.Send(Message{Kind: KindStealReq, To: 1}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	// Lossy steal traffic is shed with a typed error, not silently stalled.
+	err := a.Send(Message{Kind: KindStealReq, To: 1})
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("send into full inbox = %v, want ErrBackpressure", err)
+	}
+	var bpe *BackpressureError
+	if !errors.As(err, &bpe) || bpe.Place != 1 {
+		t.Fatalf("error should carry the congested place, got %v", err)
+	}
+	if got := ctrs.Snapshot().Backpressure; got != 1 {
+		t.Fatalf("Backpressure = %d, want 1", got)
+	}
+
+	// Reliable traffic blocks instead of shedding: it must arrive once the
+	// receiver drains, and the congestion is still counted.
+	delivered := make(chan error, 1)
+	go func() { delivered <- a.Send(Message{Kind: KindSpawn, To: 1, Payload: []byte("x")}) }()
+	select {
+	case err := <-delivered:
+		t.Fatalf("reliable send completed against a full inbox: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	got := recvTimeout(t, m.Endpoint(1).Inbox())
+	if got.Kind != KindStealReq {
+		t.Fatalf("first drained message %+v, want the steal request", got)
+	}
+	if err := <-delivered; err != nil {
+		t.Fatalf("blocked reliable send: %v", err)
+	}
+	got = recvTimeout(t, m.Endpoint(1).Inbox())
+	if got.Kind != KindSpawn {
+		t.Fatalf("second drained message %+v, want the spawn", got)
+	}
+	if got := ctrs.Snapshot().Backpressure; got != 2 {
+		t.Fatalf("Backpressure = %d, want 2", got)
 	}
 }
 

@@ -1,0 +1,281 @@
+package comm
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"distws/internal/fault"
+	"distws/internal/metrics"
+)
+
+// startTCPMesh boots an n-place mesh on pre-bound loopback listeners (so
+// there is no port race) and registers cleanup. opt may be nil.
+func startTCPMesh(t *testing.T, n int, opt func(place int) MeshOptions) []*TCPMesh {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*TCPMesh, n)
+	for i := range nodes {
+		opts := MeshOptions{}
+		if opt != nil {
+			opts = opt(i)
+		}
+		opts.Listener = lns[i]
+		node, err := ListenMeshTCP(addrs, i, opts)
+		if err != nil {
+			t.Fatalf("ListenMeshTCP(%d): %v", i, err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+	}
+	return nodes
+}
+
+func TestTCPMeshRoundTrip(t *testing.T) {
+	var ctrs metrics.Counters
+	nodes := startTCPMesh(t, 3, func(int) MeshOptions { return MeshOptions{Counters: &ctrs} })
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("AwaitTimeout: %v", err)
+	}
+
+	// Every ordered pair is one hop — including spoke-to-spoke, which the
+	// star topology would route through place 0 as two counted hops.
+	hops := []struct{ from, to int }{{0, 1}, {1, 2}, {2, 0}}
+	for _, h := range hops {
+		if err := nodes[h.from].Send(Message{Kind: KindSpawn, To: h.to, Payload: []byte("hop")}); err != nil {
+			t.Fatalf("send %d->%d: %v", h.from, h.to, err)
+		}
+		got := recvTimeout(t, nodes[h.to].Inbox())
+		if got.From != h.from || got.To != h.to || string(got.Payload) != "hop" {
+			t.Fatalf("%d->%d delivered %+v", h.from, h.to, got)
+		}
+	}
+	s := ctrs.Snapshot()
+	if s.Messages != 3 || s.BytesTransferred != 9 {
+		t.Fatalf("counters = %d msgs %d bytes, want 3/9 (one hop per send)", s.Messages, s.BytesTransferred)
+	}
+
+	// Self-delivery bypasses the wire and the counters.
+	if err := nodes[1].Send(Message{Kind: KindData, To: 1, Payload: []byte("self")}); err != nil {
+		t.Fatalf("self send: %v", err)
+	}
+	if got := recvTimeout(t, nodes[1].Inbox()); string(got.Payload) != "self" {
+		t.Fatalf("self delivery %+v", got)
+	}
+	if got := ctrs.Snapshot().Messages; got != 3 {
+		t.Fatalf("self send counted as cross-node message: %d", got)
+	}
+}
+
+func TestTCPMeshAwaitAndValidation(t *testing.T) {
+	nodes := startTCPMesh(t, 2, nil)
+	// Non-zero places await their eager link to the coordinator.
+	if err := nodes[1].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("spoke AwaitTimeout: %v", err)
+	}
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("coordinator AwaitTimeout: %v", err)
+	}
+	if err := nodes[0].Send(Message{To: 9}); err == nil {
+		t.Fatalf("send to invalid place should error")
+	}
+	if _, err := ListenMeshTCP([]string{"127.0.0.1:0"}, 0, MeshOptions{}); err == nil {
+		t.Fatalf("1-place mesh should be rejected")
+	}
+	if _, err := ListenMeshTCP([]string{"a", "b"}, 5, MeshOptions{}); err == nil {
+		t.Fatalf("out-of-range place should be rejected")
+	}
+}
+
+func TestTCPMeshPeerCrash(t *testing.T) {
+	nodes := startTCPMesh(t, 3, nil)
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("AwaitTimeout: %v", err)
+	}
+	// Establish 0's outbound link to 2, then fail-stop place 2.
+	if err := nodes[0].Send(Message{Kind: KindData, To: 2}); err != nil {
+		t.Fatalf("priming send: %v", err)
+	}
+	recvTimeout(t, nodes[2].Inbox())
+	nodes[2].Close()
+
+	// Place 2's eager connection into place 0 dies, so place 0 notices
+	// without sending: a synthetic KindPlaceDown shows up in its inbox.
+	down := recvTimeout(t, nodes[0].Inbox())
+	if down.Kind != KindPlaceDown || down.From != 2 {
+		t.Fatalf("expected synthetic place-down for 2, got %+v", down)
+	}
+	if !nodes[0].Down(2) {
+		t.Fatalf("Down(2) should report the evicted peer")
+	}
+	err := nodes[0].Send(Message{Kind: KindData, To: 2})
+	if !errors.Is(err, ErrPlaceDown) {
+		t.Fatalf("send to crashed peer = %v, want ErrPlaceDown", err)
+	}
+	var pde *PlaceDownError
+	if !errors.As(err, &pde) || pde.Place != 2 {
+		t.Fatalf("error should carry the dead place id, got %v", err)
+	}
+	// The survivors keep talking.
+	if err := nodes[1].Send(Message{Kind: KindData, To: 0, Payload: []byte("alive")}); err != nil {
+		t.Fatalf("survivor send: %v", err)
+	}
+	if got := recvTimeout(t, nodes[0].Inbox()); string(got.Payload) != "alive" {
+		t.Fatalf("survivor delivery %+v", got)
+	}
+}
+
+func TestTCPMeshDeadAddressBackpressureAndEviction(t *testing.T) {
+	// Three addresses, but place 2 never starts: its port is reserved and
+	// released so dials fail fast, exercising retry-with-backoff, the
+	// lossy-shedding queue bound, and eventual eviction.
+	var ctrs metrics.Counters
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	lns[2].Close() // place 2 is a ghost
+	opts := MeshOptions{Counters: &ctrs, DialAttempts: 4, DialBackoff: 50 * time.Millisecond, LinkQueue: 1}
+	opts.Listener = lns[0]
+	n0, err := ListenMeshTCP(addrs, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	opts1 := opts
+	opts1.Listener = lns[1]
+	n1, err := ListenMeshTCP(addrs, 1, opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+
+	// First send queues and starts the flusher, which is now stuck in dial
+	// backoff against the dead address. The queue is over its depth, so a
+	// lossy steal probe is shed with a typed error while reliable traffic
+	// keeps queueing.
+	if err := n0.Send(Message{Kind: KindData, To: 2}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	serr := n0.Send(Message{Kind: KindStealReq, To: 2})
+	if !errors.Is(serr, ErrBackpressure) {
+		t.Fatalf("steal into stalled link = %v, want ErrBackpressure", serr)
+	}
+	var bpe *BackpressureError
+	if !errors.As(serr, &bpe) || bpe.Place != 2 {
+		t.Fatalf("backpressure error should carry place 2, got %v", serr)
+	}
+	if err := n0.Send(Message{Kind: KindData, To: 2}); err != nil {
+		t.Fatalf("reliable send must queue, got %v", err)
+	}
+	if got := ctrs.Snapshot().Backpressure; got < 2 {
+		t.Fatalf("Backpressure = %d, want >= 2", got)
+	}
+
+	// The dial exhausts its retries and the ghost is evicted.
+	down := recvTimeout(t, n0.Inbox())
+	if down.Kind != KindPlaceDown || down.From != 2 {
+		t.Fatalf("expected place-down for 2, got %+v", down)
+	}
+	if err := n0.Send(Message{Kind: KindData, To: 2}); !errors.Is(err, ErrPlaceDown) {
+		t.Fatalf("post-eviction send = %v, want ErrPlaceDown", err)
+	}
+	if got := ctrs.Snapshot().Retries; got != 3 {
+		t.Fatalf("Retries = %d, want 3 (DialAttempts-1 backoff retries)", got)
+	}
+}
+
+func TestTCPMeshInjectedDialFault(t *testing.T) {
+	// A fault plan with certain loss on the 0->1 link makes every dial
+	// attempt fail deterministically: the backoff path runs, the drops are
+	// counted, and the peer ends up evicted — all without a real network
+	// fault.
+	var ctrs metrics.Counters
+	nodes := startTCPMesh(t, 2, func(int) MeshOptions {
+		return MeshOptions{Counters: &ctrs, DialAttempts: 3, DialBackoff: time.Millisecond}
+	})
+	inj := fault.NewInjector(&fault.Plan{
+		Seed:  7,
+		Links: []fault.Link{{From: 0, To: 1, DropProb: 1}},
+	})
+	nodes[0].InjectFaults(inj)
+
+	if err := nodes[0].Send(Message{Kind: KindData, To: 1}); err != nil {
+		t.Fatalf("send should enqueue before the dial fails: %v", err)
+	}
+	down := recvTimeout(t, nodes[0].Inbox())
+	if down.Kind != KindPlaceDown || down.From != 1 {
+		t.Fatalf("expected place-down for 1, got %+v", down)
+	}
+	s := ctrs.Snapshot()
+	if s.DroppedMessages != 3 {
+		t.Fatalf("DroppedMessages = %d, want 3 (one per injected dial fault)", s.DroppedMessages)
+	}
+	if s.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", s.Retries)
+	}
+	if err := nodes[0].Send(Message{Kind: KindData, To: 1}); !errors.Is(err, ErrPlaceDown) {
+		t.Fatalf("send after injected eviction = %v, want ErrPlaceDown", err)
+	}
+}
+
+func TestTCPMeshWriteCoalescing(t *testing.T) {
+	nodes := startTCPMesh(t, 2, nil)
+	// 0->1 is a lazy link: the first send triggers the dial, and everything
+	// enqueued while it is in flight must leave in batched writes.
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		if err := nodes[0].Send(Message{Kind: KindData, To: 1, Seq: uint64(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < burst; i++ {
+		got := recvTimeout(t, nodes[1].Inbox())
+		if got.Seq != uint64(i) {
+			t.Fatalf("message %d arrived with seq %d (order lost)", i, got.Seq)
+		}
+	}
+	writes, frames := nodes[0].CoalescingStats()
+	if frames != burst {
+		t.Fatalf("frames = %d, want %d", frames, burst)
+	}
+	if writes >= frames {
+		t.Fatalf("writes = %d for %d frames: no coalescing happened", writes, frames)
+	}
+	t.Logf("coalescing: %d frames in %d writes", frames, writes)
+}
+
+func TestTCPMeshClose(t *testing.T) {
+	nodes := startTCPMesh(t, 2, nil)
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := nodes[0].Send(Message{To: 1}); err != ErrClosed {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if _, open := <-nodes[0].Inbox(); open {
+		t.Fatalf("inbox should be closed")
+	}
+}

@@ -1,7 +1,7 @@
 package comm
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -9,6 +9,7 @@ import (
 
 	"distws/internal/fault"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 )
 
 // KindHello is the handshake message a spoke sends right after dialing the
@@ -20,28 +21,41 @@ const KindHello Kind = 200
 // never travels on the wire.
 const KindPlaceDown Kind = 201
 
-// tcpConn wraps a net.Conn with gob framing and a write lock.
+// tcpConn wraps a net.Conn with binary wire framing (see wire.go) and a
+// write lock. Read and write each reuse one scratch buffer, so steady-state
+// messaging allocates nothing on either side.
 type tcpConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	br   *bufio.Reader
+	rbuf []byte
 	wmu  sync.Mutex
+	wbuf []byte
 }
 
 func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	return &tcpConn{conn: c, br: bufio.NewReader(c)}
 }
 
 func (c *tcpConn) write(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.enc.Encode(m)
+	c.wbuf = AppendFrame(c.wbuf[:0], m)
+	_, err := c.conn.Write(c.wbuf)
+	return err
 }
 
 func (c *tcpConn) read() (Message, error) {
-	var m Message
-	err := c.dec.Decode(&m)
-	return m, err
+	m, buf, err := ReadFrame(c.br, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		return Message{}, err
+	}
+	// The payload aliases the read buffer, which the next read overwrites;
+	// hand the consumer a stable copy.
+	if len(m.Payload) > 0 {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	return m, nil
 }
 
 // Hub is place 0's endpoint in a star-topology TCP transport. Spokes dial
@@ -53,6 +67,7 @@ type Hub struct {
 	places   int
 	counters *metrics.Counters
 	inj      *fault.Injector // nil-safe; set via InjectFaults
+	rec      *obs.Recorder   // nil-safe; set via SetRecorder
 
 	mu     sync.Mutex
 	conns  map[int]*tcpConn
@@ -112,6 +127,11 @@ func (h *Hub) AwaitTimeout(d time.Duration) error {
 // silently dropped and any routed message may be delayed by a latency
 // spike. Call before traffic starts; nil disarms.
 func (h *Hub) InjectFaults(inj *fault.Injector) { h.inj = inj }
+
+// SetRecorder attaches a scheduling-event recorder: task arrivals
+// (KindArrive) and place evictions (KindCrash) are recorded on the hub's
+// track. Call before traffic starts; nil (the default) records nothing.
+func (h *Hub) SetRecorder(rec *obs.Recorder) { h.rec = rec }
 
 // Down reports whether place p's connection has failed and been evicted.
 func (h *Hub) Down(p int) bool {
@@ -173,6 +193,9 @@ func (h *Hub) readLoop(from int, tc *tcpConn) {
 }
 
 func (h *Hub) deliverLocal(m Message) {
+	if m.Kind == KindSpawn {
+		h.rec.Record(0, 0, obs.KindArrive, -1, int32(m.From), 0)
+	}
 	defer func() { recover() }() // inbox may close under us
 	h.inbox <- m
 }
@@ -191,6 +214,7 @@ func (h *Hub) evict(place int, tc *tcpConn) {
 	h.down[place] = true
 	h.mu.Unlock()
 	tc.conn.Close()
+	h.rec.Record(0, 0, obs.KindCrash, -1, int32(place), 0)
 	h.deliverLocal(Message{Kind: KindPlaceDown, From: place, To: 0})
 }
 
@@ -270,6 +294,7 @@ type Spoke struct {
 	tc       *tcpConn
 	counters *metrics.Counters
 	inj      *fault.Injector // nil-safe; set via InjectFaults
+	rec      *obs.Recorder   // nil-safe; set via SetRecorder
 	inbox    chan Message
 	once     sync.Once
 }
@@ -304,6 +329,9 @@ func (s *Spoke) readLoop() {
 		if err != nil {
 			return
 		}
+		if m.Kind == KindSpawn {
+			s.rec.Record(s.place, 0, obs.KindArrive, -1, int32(m.From), 0)
+		}
 		s.inbox <- m
 	}
 }
@@ -318,6 +346,19 @@ func (s *Spoke) Place() int { return s.place }
 // InjectFaults arms the spoke's sends with a fault injector. Call before
 // traffic starts; nil disarms.
 func (s *Spoke) InjectFaults(inj *fault.Injector) { s.inj = inj }
+
+// SetRecorder attaches a scheduling-event recorder to inbound task
+// arrivals. Call before traffic starts; nil records nothing.
+func (s *Spoke) SetRecorder(rec *obs.Recorder) { s.rec = rec }
+
+// AwaitTimeout implements Node: a spoke is joined the moment its dial and
+// handshake succeed, so there is nothing to wait for.
+func (s *Spoke) AwaitTimeout(time.Duration) error { return nil }
+
+// Down implements Node. A spoke routes everything through the hub and
+// learns about dead peers only from typed send errors, so it never marks
+// places down itself.
+func (s *Spoke) Down(int) bool { return false }
 
 // Send implements Endpoint. All traffic goes via the hub.
 func (s *Spoke) Send(m Message) error {

@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseTransport(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Transport
+	}{
+		{"inproc", TransportInproc},
+		{"tcp-hub", TransportTCPHub},
+		{"tcp-mesh", TransportTCPMesh},
+		{" TCP-Mesh ", TransportTCPMesh},
+	}
+	for _, c := range cases {
+		got, err := ParseTransport(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseTransport(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		// String is the inverse spelling.
+		if rt, err := ParseTransport(c.want.String()); err != nil || rt != c.want {
+			t.Fatalf("round trip of %v via %q failed: %v, %v", c.want, c.want.String(), rt, err)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Fatalf("unknown transport should error")
+	}
+	if s := Transport(42).String(); s == "" {
+		t.Fatalf("out-of-range transport should still print")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	bad := []NodeConfig{
+		{Transport: TransportTCPHub, Place: 0, Places: 1, Addr: "x"},          // too small
+		{Transport: TransportTCPHub, Place: 5, Places: 2, Addr: "x"},          // place out of range
+		{Transport: TransportTCPHub, Place: 0, Places: 2},                     // no addr
+		{Transport: TransportInproc, Place: 0, Places: 2},                     // inproc not Open-able
+		{Transport: TransportTCPMesh, Place: 0, Places: 3, Addrs: []string{}}, // addrs mismatch
+		{Transport: Transport(9), Place: 0, Places: 2, Addr: "x"},             // unknown
+	}
+	for i, cfg := range bad {
+		if _, err := Open(cfg); err == nil {
+			t.Fatalf("Open(#%d %+v) should fail", i, cfg)
+		}
+	}
+}
+
+func TestOpenHubTopology(t *testing.T) {
+	hub, err := Open(NodeConfig{Transport: TransportTCPHub, Place: 0, Places: 2, Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Open hub: %v", err)
+	}
+	defer hub.Close()
+	spoke, err := Open(NodeConfig{Transport: TransportTCPHub, Place: 1, Places: 2, Addr: hub.(*Hub).Addr()})
+	if err != nil {
+		t.Fatalf("Open spoke: %v", err)
+	}
+	defer spoke.Close()
+	if err := hub.AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := spoke.Send(Message{Kind: KindData, To: 0, Payload: []byte("via-open")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvTimeout(t, hub.Inbox()); string(got.Payload) != "via-open" {
+		t.Fatalf("hub received %+v", got)
+	}
+}
+
+func TestOpenMeshTopology(t *testing.T) {
+	// Reserve two loopback ports, then hand the addresses to Open. The
+	// tiny close-to-listen window is acceptable in a test.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	var nodes [2]Node
+	for i := range nodes {
+		n, err := Open(NodeConfig{Transport: TransportTCPMesh, Place: i, Places: 2, Addrs: addrs})
+		if err != nil {
+			t.Fatalf("Open mesh %d: %v", i, err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].Send(Message{Kind: KindData, To: 0, Payload: []byte("mesh-open")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvTimeout(t, nodes[0].Inbox()); string(got.Payload) != "mesh-open" {
+		t.Fatalf("node 0 received %+v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireFrame checks the two safety properties of the binary codec:
+//
+//  1. Encode→decode identity: any message assembled from the fuzzed
+//     fields survives AppendFrame → DecodeFrame and ReadFrame bit-exactly.
+//  2. Decoder robustness: arbitrary bytes (including the valid frame
+//     truncated at every length, and corrupted length prefixes) either
+//     decode cleanly or fail with a typed error — never panic, never
+//     over-read, never allocate beyond MaxFramePayload.
+func FuzzWireFrame(f *testing.F) {
+	f.Add(uint8(0), int32(0), int32(1), uint64(0), []byte{}, []byte{})
+	f.Add(uint8(2), int32(3), int32(0), uint64(42), []byte("steal me"), []byte{0, 0, 0, 0})
+	f.Add(uint8(200), int32(-1), int32(-1), ^uint64(0), bytes.Repeat([]byte{0xff}, 64), []byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, kind uint8, from, to int32, seq uint64, payload, raw []byte) {
+		in := Message{Kind: Kind(kind), From: int(from), To: int(to), Seq: seq, Payload: payload}
+		frame := AppendFrame(nil, in)
+
+		got, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("DecodeFrame of a valid frame: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(frame))
+		}
+		if !sameMessage(got, in) {
+			t.Fatalf("decode round trip: %+v != %+v", got, in)
+		}
+		rm, _, err := ReadFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatalf("ReadFrame of a valid frame: %v", err)
+		}
+		if !sameMessage(rm, in) {
+			t.Fatalf("read round trip: %+v != %+v", rm, in)
+		}
+
+		// Every strict prefix of a valid frame is a truncation.
+		if len(frame) > 0 {
+			cut := len(raw) % len(frame) // fuzzer-chosen truncation point
+			if _, _, err := DecodeFrame(frame[:cut]); !errors.Is(err, ErrTruncatedFrame) {
+				t.Fatalf("truncated to %d bytes: err = %v, want ErrTruncatedFrame", cut, err)
+			}
+		}
+
+		// Arbitrary bytes must never panic the decoder, and every error it
+		// returns must be typed (or io.EOF for an empty reader).
+		if _, _, err := DecodeFrame(raw); err != nil {
+			if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("DecodeFrame(raw): untyped error %v", err)
+			}
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(raw), nil); err != nil {
+			if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameTooLarge) && err != io.EOF {
+				t.Fatalf("ReadFrame(raw): untyped error %v", err)
+			}
+		}
+	})
+}

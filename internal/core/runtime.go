@@ -15,11 +15,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"distws/internal/comm"
 	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/obs"
@@ -28,11 +31,21 @@ import (
 	"distws/internal/topology"
 )
 
+// ErrShutdown is returned by Run and RunContext once the runtime has been
+// shut down. Match with errors.Is.
+var ErrShutdown = errors.New("core: runtime is shut down")
+
 // Config parameterizes a Runtime.
 type Config struct {
 	// Cluster describes places and workers per place. Defaults to
 	// topology.Laptop() when zero.
 	Cluster topology.Cluster
+	// Transport selects the inter-place message layer. A Runtime hosts all
+	// places in one process, so only comm.TransportInproc (the zero value)
+	// is accepted here; the distributed transports (tcp-hub, tcp-mesh) are
+	// opened with comm.Open and driven by the node layer — see
+	// cmd/distws-node.
+	Transport comm.Transport
 	// Policy selects the scheduling algorithm. Default DistWS.
 	Policy sched.Kind
 	// MaxThreads is the per-place activity ceiling used by the
@@ -114,6 +127,9 @@ type Runtime struct {
 // New starts a runtime: all worker goroutines are live on return.
 func New(cfg Config) (*Runtime, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Transport != comm.TransportInproc {
+		return nil, fmt.Errorf("core: transport %v needs one process per place — open it with comm.Open (see cmd/distws-node); a Runtime only runs %v", cfg.Transport, comm.TransportInproc)
+	}
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -173,22 +189,52 @@ func (rt *Runtime) Utilization() []float64 {
 
 // Shutdown stops all workers and waits for them to exit. Pending tasks are
 // abandoned; call only after Run has returned. Idempotent.
-func (rt *Runtime) Shutdown() {
-	if rt.shutdown.Swap(true) {
-		return
+func (rt *Runtime) Shutdown() { _ = rt.ShutdownContext(context.Background()) }
+
+// ShutdownContext stops all workers and waits for them to exit, bounded by
+// ctx. The stop signal is delivered regardless of the outcome; a non-nil
+// return (ctx.Err()) only means the wait was abandoned while workers were
+// still winding down — they keep exiting in the background and a later
+// call waits for the remainder. Idempotent.
+func (rt *Runtime) ShutdownContext(ctx context.Context) error {
+	if !rt.shutdown.Swap(true) {
+		for _, p := range rt.places {
+			p.wakeAll()
+		}
 	}
-	for _, p := range rt.places {
-		p.wakeAll()
+	done := make(chan struct{})
+	go func() {
+		rt.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	rt.workerWG.Wait()
 }
 
 // Run executes body as the root activity at place 0 and blocks until body
 // and everything it transitively spawned have finished (an implicit
 // top-level X10 finish).
 func (rt *Runtime) Run(body func(*Ctx)) error {
+	return rt.RunContext(context.Background(), body)
+}
+
+// RunContext is Run bounded by a context: it executes body as the root
+// activity at place 0 and blocks until the implicit top-level finish
+// completes or ctx is done, whichever comes first. On cancellation it
+// returns ctx.Err() immediately, but the activities already spawned are
+// not interrupted — they drain in the background on the worker pool, and
+// Shutdown still waits for the workers themselves. A runtime that has been
+// shut down returns ErrShutdown.
+func (rt *Runtime) RunContext(ctx context.Context, body func(*Ctx)) error {
 	if rt.shutdown.Load() {
-		return fmt.Errorf("core: Run on a shut-down runtime")
+		return ErrShutdown
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	fin := newFinish(nil)
 	fin.add(1)
@@ -198,7 +244,11 @@ func (rt *Runtime) Run(body func(*Ctx)) error {
 		home: 0,
 		fin:  fin,
 	}, -1, nil)
-	fin.waitExternal()
+	select {
+	case <-fin.doneCh:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	if v := fin.firstErr(); v != nil {
 		return fmt.Errorf("core: activity panicked: %v", v)
 	}

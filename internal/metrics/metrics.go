@@ -40,6 +40,12 @@ type Counters struct {
 	DroppedMessages atomic.Int64 // messages lost to injected link faults
 	PlacesLost      atomic.Int64 // places that crashed during the run
 	TasksReExecuted atomic.Int64 // tasks re-enqueued after a place failure
+
+	// Backpressure counts sends that found the destination inbox or link
+	// queue full (see comm.ErrBackpressure): lossy steal traffic is shed,
+	// reliable traffic blocks, and either way the congestion is recorded
+	// here instead of disappearing silently.
+	Backpressure atomic.Int64
 }
 
 // Snapshot is an immutable copy of a Counters at one instant.
@@ -61,6 +67,7 @@ type Snapshot struct {
 	DroppedMessages  int64
 	PlacesLost       int64
 	TasksReExecuted  int64
+	Backpressure     int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the counters.
@@ -85,6 +92,7 @@ func (c *Counters) Snapshot() Snapshot {
 		DroppedMessages:  c.DroppedMessages.Load(),
 		PlacesLost:       c.PlacesLost.Load(),
 		TasksReExecuted:  c.TasksReExecuted.Load(),
+		Backpressure:     c.Backpressure.Load(),
 	}
 }
 
@@ -117,6 +125,9 @@ func (s Snapshot) String() string {
 		s.TasksExecuted, s.TasksSpawned, s.LocalSteals, s.RemoteSteals,
 		s.FailedSteals, s.Messages, s.BytesTransferred, s.CacheMissRate(),
 		s.TasksMigrated)
+	if s.Backpressure > 0 {
+		base += fmt.Sprintf(" backpressure=%d", s.Backpressure)
+	}
 	if s.StealTimeouts == 0 && s.Retries == 0 && s.DroppedMessages == 0 &&
 		s.PlacesLost == 0 && s.TasksReExecuted == 0 {
 		return base

@@ -1,0 +1,301 @@
+// Package node implements the distributed batch protocol that
+// cmd/distws-node drives: a coordinator at place 0 dispatching registry
+// tasks across the cluster with at-least-once delivery and exactly-once
+// result accounting, and an executor loop at every other place. The
+// protocol is transport-agnostic — it speaks through a comm.Node, so the
+// same code runs over the star (tcp-hub) and peer-to-peer (tcp-mesh)
+// topologies, and payloads stay opaque bytes end to end.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"distws/internal/comm"
+	"distws/internal/metrics"
+	"distws/internal/task"
+)
+
+// Batch is one unit of dispatchable work: an id the result accounting is
+// keyed on (carried on the wire as Message.Seq) and an opaque argument for
+// the registered task.
+type Batch struct {
+	ID  int
+	Arg []byte
+}
+
+// Coordinator is the resilient-finish state of place 0: it tracks which
+// batch is outstanding at which place, re-dispatches when a place dies or
+// goes silent, and deduplicates results so at-least-once dispatch still
+// accounts every batch exactly once.
+type Coordinator struct {
+	// Node is this process's transport attachment (place 0).
+	Node comm.Node
+	// Places is the cluster size.
+	Places int
+	// Counters receives protocol accounting (PlacesLost, TasksReExecuted,
+	// Retries); nil disables it.
+	Counters *metrics.Counters
+	// TaskName is the registry name executors resolve arriving spawns to.
+	TaskName string
+	// RunLocal executes one batch on the coordinator itself — the local
+	// share of the work, and the fallback when no executor survives.
+	RunLocal func(arg []byte) ([]byte, error)
+	// OnResult consumes each batch's result payload, exactly once per id.
+	OnResult func(id int, result []byte)
+	// RetryAfter is the silence window after which outstanding batches are
+	// re-sent. Defaults to 5s.
+	RetryAfter time.Duration
+	// Logf reports recovery events; nil is silent.
+	Logf func(format string, a ...any)
+
+	alive       []bool
+	outstanding map[int]map[int]Batch // place -> batch id -> batch
+	got         map[int]bool          // batch ids whose result is accounted
+	pending     int
+}
+
+func (c *Coordinator) logf(format string, a ...any) {
+	if c.Logf != nil {
+		c.Logf(format, a...)
+	}
+}
+
+// Run dispatches batches across the cluster and blocks until every result
+// is accounted, surviving executor crashes and lost messages. Every
+// Places'th batch runs locally (the coordinator is a worker too); the rest
+// go round robin over places 1..Places-1. On return it broadcasts
+// KindShutdown to the surviving executors.
+func (c *Coordinator) Run(batches []Batch) error {
+	if c.Node == nil || c.RunLocal == nil || c.OnResult == nil {
+		return fmt.Errorf("node: Coordinator needs Node, RunLocal, and OnResult")
+	}
+	if c.Places < 2 {
+		return fmt.Errorf("node: Coordinator over %d places, want >= 2", c.Places)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 5 * time.Second
+	}
+	c.alive = make([]bool, c.Places)
+	for p := 1; p < c.Places; p++ {
+		c.alive[p] = true
+	}
+	c.outstanding = make(map[int]map[int]Batch)
+	c.got = make(map[int]bool)
+	c.pending = len(batches)
+
+	for i, b := range batches {
+		if i%c.Places == 0 {
+			if err := c.runHere(b); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.dispatch(b, i%c.Places); err != nil {
+			return err
+		}
+	}
+
+	for c.pending > 0 {
+		select {
+		case m, ok := <-c.Node.Inbox():
+			if !ok {
+				return fmt.Errorf("node: inbox closed with %d batches outstanding", c.pending)
+			}
+			switch m.Kind {
+			case comm.KindPlaceDown:
+				if err := c.markDown(m.From); err != nil {
+					return err
+				}
+			case comm.KindSpawnDone:
+				id := int(m.Seq)
+				if om := c.outstanding[m.From]; om != nil {
+					delete(om, id)
+				}
+				c.finish(id, m.Payload)
+			}
+		case <-time.After(c.RetryAfter):
+			c.logf("coordinator: no progress for %v, re-sending %d batch(es)", c.RetryAfter, c.pending)
+			if err := c.retryOutstanding(); err != nil {
+				return err
+			}
+		}
+	}
+	for p := 1; p < c.Places; p++ {
+		if c.alive[p] {
+			c.Node.Send(comm.Message{Kind: comm.KindShutdown, To: p})
+		}
+	}
+	return nil
+}
+
+// dispatch sends b to the first alive place at or after preferred
+// (skipping the coordinator), executing locally when no executor survives.
+func (c *Coordinator) dispatch(b Batch, preferred int) error {
+	env := &task.Envelope{Name: c.TaskName, Arg: b.Arg, Origin: 0, Class: task.Flexible}
+	for try := 0; try < c.Places; try++ {
+		dest := (preferred + try) % c.Places
+		if dest == 0 || !c.alive[dest] {
+			continue
+		}
+		env.Home = dest
+		payload, err := env.Encode()
+		if err != nil {
+			return err
+		}
+		err = c.Node.Send(comm.Message{Kind: comm.KindSpawn, To: dest, Seq: uint64(b.ID), Payload: payload})
+		if errors.Is(err, comm.ErrPlaceDown) {
+			if err := c.markDown(dest); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if c.outstanding[dest] == nil {
+			c.outstanding[dest] = make(map[int]Batch)
+		}
+		c.outstanding[dest][b.ID] = b
+		return nil
+	}
+	return c.runHere(b)
+}
+
+// runHere executes b on the coordinator and accounts its result.
+func (c *Coordinator) runHere(b Batch) error {
+	res, err := c.RunLocal(b.Arg)
+	if err != nil {
+		return err
+	}
+	c.finish(b.ID, res)
+	return nil
+}
+
+// markDown records a place's failure and re-dispatches every batch that
+// was outstanding there.
+func (c *Coordinator) markDown(p int) error {
+	if p <= 0 || p >= c.Places || !c.alive[p] {
+		return nil
+	}
+	c.alive[p] = false
+	if c.Counters != nil {
+		c.Counters.PlacesLost.Add(1)
+	}
+	orphans := c.outstanding[p]
+	delete(c.outstanding, p)
+	c.logf("coordinator: place %d down, re-dispatching %d batch(es)", p, len(orphans))
+	for _, b := range orphans {
+		if c.Counters != nil {
+			c.Counters.TasksReExecuted.Add(1)
+		}
+		if err := c.dispatch(b, p+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retryOutstanding re-sends every outstanding batch after a silent period —
+// the per-request timeout of the dispatch protocol.
+func (c *Coordinator) retryOutstanding() error {
+	type entry struct {
+		place int
+		b     Batch
+	}
+	var stale []entry
+	for p, m := range c.outstanding {
+		for _, b := range m {
+			stale = append(stale, entry{p, b})
+		}
+	}
+	for _, e := range stale {
+		if c.got[e.b.ID] {
+			continue // completed while we were resending
+		}
+		if c.Counters != nil {
+			c.Counters.Retries.Add(1)
+		}
+		delete(c.outstanding[e.place], e.b.ID)
+		if err := c.dispatch(e.b, e.place); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish accounts a batch result exactly once.
+func (c *Coordinator) finish(id int, result []byte) {
+	if c.got[id] {
+		return
+	}
+	c.got[id] = true
+	c.OnResult(id, result)
+	c.pending--
+}
+
+// Executor is the serve loop of a non-coordinator place: it resolves
+// arriving spawn envelopes against the task registry, runs them, and
+// replies with the result under the same Seq.
+type Executor struct {
+	// Node is this process's transport attachment.
+	Node comm.Node
+	// Place is this executor's place id.
+	Place int
+	// Registry resolves envelope names; nil uses task.DefaultRegistry.
+	Registry *task.Registry
+	// Run executes one resolved task and returns the reply payload.
+	Run func(name string, arg []byte) ([]byte, error)
+	// CrashAfter > 0 makes the executor fail-stop (return without a
+	// goodbye) after that many batches — the chaos knob.
+	CrashAfter int
+	// Logf reports lifecycle events; nil is silent.
+	Logf func(format string, a ...any)
+}
+
+// Serve processes messages until a KindShutdown arrives, the inbox
+// closes, or the CrashAfter budget is spent. It returns the number of
+// batches executed.
+func (e *Executor) Serve() (int, error) {
+	if e.Node == nil || e.Run == nil {
+		return 0, fmt.Errorf("node: Executor needs Node and Run")
+	}
+	reg := e.Registry
+	if reg == nil {
+		reg = task.DefaultRegistry
+	}
+	done := 0
+	for m := range e.Node.Inbox() {
+		switch m.Kind {
+		case comm.KindShutdown:
+			if e.Logf != nil {
+				e.Logf("node %d: done after %d batches", e.Place, done)
+			}
+			return done, nil
+		case comm.KindSpawn:
+			env, err := task.DecodeEnvelope(m.Payload)
+			if err != nil {
+				return done, err
+			}
+			if _, ok := reg.Lookup(env.Name); !ok {
+				return done, fmt.Errorf("node %d: unknown remote task %q", e.Place, env.Name)
+			}
+			reply, err := e.Run(env.Name, env.Arg)
+			if err != nil {
+				return done, err
+			}
+			if err := e.Node.Send(comm.Message{Kind: comm.KindSpawnDone, To: env.Origin, Seq: m.Seq, Payload: reply}); err != nil {
+				return done, err
+			}
+			done++
+			if e.CrashAfter > 0 && done >= e.CrashAfter {
+				if e.Logf != nil {
+					e.Logf("node %d: fail-stop after %d batches", e.Place, done)
+				}
+				return done, nil
+			}
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,144 @@
+package node
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"distws/internal/comm"
+	"distws/internal/metrics"
+	"distws/internal/task"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// TestCoordinatorExecutorHub runs the protocol over the star transport:
+// the coordinator keeps its local share, the executor answers the rest,
+// and every batch is accounted exactly once.
+func TestCoordinatorExecutorHub(t *testing.T) {
+	reg := task.NewRegistry()
+	reg.Register("test.echo", func([]byte) error { return nil })
+
+	var ctrs metrics.Counters
+	hub, err := comm.ListenHub("127.0.0.1:0", 2, &ctrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	spoke, err := comm.DialSpoke(hub.Addr(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spoke.Close()
+	if err := hub.AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	exDone := make(chan error, 1)
+	go func() {
+		ex := &Executor{
+			Node:     spoke,
+			Place:    1,
+			Registry: reg,
+			Run: func(name string, arg []byte) ([]byte, error) {
+				id := binary.BigEndian.Uint64(arg)
+				return u64(id * 3), nil
+			},
+		}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+
+	const batches = 10
+	work := make([]Batch, batches)
+	for i := range work {
+		work[i] = Batch{ID: i, Arg: u64(uint64(i))}
+	}
+	results := make(map[int]uint64)
+	calls := make(map[int]int)
+	coord := &Coordinator{
+		Node:     hub,
+		Places:   2,
+		Counters: &ctrs,
+		TaskName: "test.echo",
+		RunLocal: func(arg []byte) ([]byte, error) {
+			id := binary.BigEndian.Uint64(arg)
+			return u64(id * 3), nil
+		},
+		OnResult: func(id int, result []byte) {
+			calls[id]++
+			results[id] = binary.BigEndian.Uint64(result)
+		},
+		RetryAfter: 500 * time.Millisecond,
+	}
+	if err := coord.Run(work); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if len(results) != batches {
+		t.Fatalf("accounted %d of %d batches", len(results), batches)
+	}
+	for id := 0; id < batches; id++ {
+		if calls[id] != 1 {
+			t.Fatalf("batch %d accounted %d times, want exactly once", id, calls[id])
+		}
+		if results[id] != uint64(id*3) {
+			t.Fatalf("batch %d result %d, want %d", id, results[id], id*3)
+		}
+	}
+	select {
+	case err := <-exDone:
+		if err != nil {
+			t.Fatalf("executor: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("executor never received the shutdown broadcast")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if err := (&Coordinator{}).Run(nil); err == nil {
+		t.Fatalf("empty coordinator should be rejected")
+	}
+	if _, err := (&Executor{}).Serve(); err == nil {
+		t.Fatalf("empty executor should be rejected")
+	}
+}
+
+func TestExecutorUnknownTask(t *testing.T) {
+	reg := task.NewRegistry()
+	var ctrs metrics.Counters
+	hub, err := comm.ListenHub("127.0.0.1:0", 2, &ctrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	spoke, err := comm.DialSpoke(hub.Addr(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spoke.Close()
+	if err := hub.AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env := &task.Envelope{Name: "not.registered", Origin: 0, Home: 1, Class: task.Flexible}
+	payload, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Send(comm.Message{Kind: comm.KindSpawn, To: 1, Seq: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{
+		Node:     spoke,
+		Place:    1,
+		Registry: reg,
+		Run:      func(string, []byte) ([]byte, error) { return nil, nil },
+	}
+	if _, err := ex.Serve(); err == nil {
+		t.Fatalf("unknown task should fail the executor")
+	}
+}
