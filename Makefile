@@ -7,8 +7,11 @@ all: check
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and package-level setup) execution order
+# each run, so order-dependent tests fail in CI instead of in the field;
+# a failure prints the shuffle seed for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -17,7 +20,7 @@ vet:
 # simulation cells across a worker pool; its determinism tests run the
 # pool at width 8 even on small hosts).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # One-iteration run of the simulator hot-path benchmark: catches the hot
 # path regressing to a non-compiling, panicking, or racy state without

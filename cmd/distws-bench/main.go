@@ -58,6 +58,16 @@ type report struct {
 	SimulatorTraced    simBench `json:"simulator_traced"`
 	TracingOverheadPct float64  `json:"tracing_overhead_pct"`
 
+	// SimulatorAdaptive is the same run under the adaptive policy (a
+	// fresh controller per iteration: interning, per-completion
+	// ObserveExec, per-probe ObserveSteal, controller-ordered victim
+	// sweeps), and AdaptiveOverheadPct its ns/op cost relative to
+	// Simulator. The budget mirrors tracing: the controller-off path
+	// must not regress; these numbers document what `-policy adaptive`
+	// costs.
+	SimulatorAdaptive   simBench `json:"simulator_adaptive"`
+	AdaptiveOverheadPct float64  `json:"adaptive_overhead_pct"`
+
 	// SuiteSequentialMS / SuiteParallelMS are wall-clock milliseconds for
 	// regenerating every simulator-driven exhibit with Workers=1 and with
 	// the GOMAXPROCS pool.
@@ -192,6 +202,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Warm-up: the first measured benchmark otherwise absorbs one-time
+	// process costs (page faults, branch predictor, allocator growth) and
+	// the overhead percentages below would compare a cold baseline
+	// against warm variants.
+	if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed}); err != nil {
+		return err
+	}
 	var events, runs int64
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -240,6 +257,26 @@ func run() error {
 	}
 	if base := rep.Simulator.NsPerOp; base > 0 {
 		rep.TracingOverheadPct = 100 * float64(bt.NsPerOp()-base) / float64(base)
+	}
+
+	// The same run under the adaptive policy (controller on).
+	ba := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(g, r.Cluster, sched.Adaptive, sim.Options{Seed: *seed}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SimulatorAdaptive = simBench{
+		Name:        "Simulator128Workers/dmg/Adaptive",
+		Iterations:  ba.N,
+		NsPerOp:     ba.NsPerOp(),
+		AllocsPerOp: ba.AllocsPerOp(),
+		BytesPerOp:  ba.AllocedBytesPerOp(),
+	}
+	if base := rep.Simulator.NsPerOp; base > 0 {
+		rep.AdaptiveOverheadPct = 100 * float64(ba.NsPerOp()-base) / float64(base)
 	}
 
 	// Full-evaluation wall clock, sequential then parallel, on fresh

@@ -37,7 +37,7 @@ func run() error {
 	var (
 		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale   = flag.Int("scale", 1, "workload scale multiplier")
-		only    = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts")
+		only    = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts, adaptive")
 		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	diag := cliutil.RegisterFlags(flag.CommandLine)
@@ -68,6 +68,10 @@ func run() error {
 			return expt.RenderGranularity(rows), err
 		}},
 		{"uts", func() (string, error) { rows, err := r.UTSStudy(); return expt.RenderUTS(rows), err }},
+		{"adaptive", func() (string, error) {
+			rows, err := r.AdaptiveStudy()
+			return expt.RenderAdaptive(rows), err
+		}},
 	}
 
 	start := time.Now()

@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -43,13 +46,14 @@ func main() {
 func run() error {
 	var (
 		appName = flag.String("app", "dmg", "application (quicksort, turingring, kmeans, agglom, dmg, dmr, nbody, uts, or a micro app)")
-		policy  = flag.String("policy", "distws", "scheduler: x10ws, distws, distws-ns, random, lifeline")
+		policy  = flag.String("policy", "distws", "scheduler: x10ws, distws, distws-ns, random, lifeline, adaptive")
 		mode    = flag.String("mode", "sim", "sim (virtual cluster) or runtime (real goroutine runtime)")
 		places  = flag.Int("places", 16, "number of places (nodes)")
 		workers = flag.Int("workers", 8, "workers per place")
 		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale   = flag.Int("scale", 1, "workload scale multiplier")
-		list    = flag.Bool("list", false, "list available applications and exit")
+		timeout = flag.Duration("timeout", 0, "abort a runtime-mode run after this long (0 = no limit)")
+		list    = flag.Bool("list", false, "list available applications and policies and exit")
 
 		crashPlace = flag.Int("crash-place", -1, "place to crash mid-run (-1 = none)")
 		crashAt    = flag.Duration("crash-at", 0, "virtual time of the crash (sim mode)")
@@ -65,19 +69,26 @@ func run() error {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("paper suite:", suite.Names())
-		fmt.Println("micro suite: mergesort skyline montecarlo-pi matchain randomaccess")
+		fmt.Println("paper suite:", strings.Join(suite.Names(), " "))
+		fmt.Println("micro suite:", strings.Join(microNames(), " "))
 		fmt.Println("uts")
+		fmt.Println("policies:", strings.Join(policyNames(), " "))
 		return nil
 	}
 
+	// Validate every registry-backed flag before any setup work so a typo
+	// fails immediately with the full set of valid spellings.
 	k, err := sched.Parse(*policy)
 	if err != nil {
-		return err
+		return fmt.Errorf("-policy %q: valid policies are: %s", *policy, strings.Join(policyNames(), " "))
 	}
 	app, err := suite.ByName(*appName, suite.Scale(*scale), *seed)
 	if err != nil {
-		return err
+		return fmt.Errorf("-app %q: valid applications are: %s uts",
+			*appName, strings.Join(append(suite.Names(), microNames()...), " "))
+	}
+	if *mode != "sim" && *mode != "runtime" {
+		return fmt.Errorf("-mode %q: valid modes are: sim runtime", *mode)
 	}
 	cl := topology.Paper()
 	cl.Places, cl.WorkersPerPlace = *places, *workers
@@ -114,9 +125,7 @@ func run() error {
 	case "sim":
 		err = runSim(app, cl, k, *seed, plan, rec, diag.Server())
 	case "runtime":
-		err = runRuntime(app, cl, k, *seed, plan, rec, diag.Server())
-	default:
-		return fmt.Errorf("unknown mode %q (want sim or runtime)", *mode)
+		err = runRuntime(app, cl, k, *seed, *timeout, plan, rec, diag.Server())
 	}
 	if err != nil {
 		return err
@@ -163,7 +172,7 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *f
 	return w.Flush()
 }
 
-func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
+func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, timeout time.Duration, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
 	fmt.Printf("%s under %s on %s (real runtime; place count bounded by this host)\n\n", app.Name(), k, cl)
 	want := app.Sequential()
 	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed, Fault: plan, Recorder: rec})
@@ -173,10 +182,21 @@ func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, pla
 	defer rt.Shutdown()
 	srv.SetMetricsSource(rt.Metrics)
 	srv.SetUtilizationSource(rt.Utilization)
+	// -timeout: shut the runtime down when the deadline passes. The app's
+	// in-flight RunContext observes the stop signal and unblocks with the
+	// typed ErrShutdown instead of waiting on a finish the exiting workers
+	// will never complete.
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() { _ = rt.ShutdownContext(context.Background()) })
+		defer timer.Stop()
+	}
 	start := time.Now()
 	got, err := app.Parallel(rt)
 	elapsed := time.Since(start)
 	if err != nil {
+		if errors.Is(err, core.ErrShutdown) && timeout > 0 {
+			return fmt.Errorf("run exceeded -timeout %v: %w", timeout, err)
+		}
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -197,6 +217,27 @@ func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, pla
 	return nil
 }
 
+// policyNames lists the canonical -policy spellings, derived from the
+// scheduler registry so a new policy shows up here without CLI edits.
+func policyNames() []string {
+	kinds := sched.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = strings.ToLower(k.String())
+	}
+	return out
+}
+
+// microNames lists the micro-suite application names from the registry.
+func microNames() []string {
+	micro := suite.Micro(1)
+	out := make([]string, len(micro))
+	for i, a := range micro {
+		out[i] = a.Name()
+	}
+	return out
+}
+
 func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
 	fmt.Fprintf(w, "tasks executed\t%d\n", s.TasksExecuted)
 	fmt.Fprintf(w, "steals\tlocal %d, remote %d, failed sweeps %d\n",
@@ -204,6 +245,9 @@ func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
 	fmt.Fprintf(w, "steals-to-task ratio\t%.2e\n", s.StealsToTaskRatio())
 	fmt.Fprintf(w, "messages\t%d (%d bytes)\n", s.Messages, s.BytesTransferred)
 	fmt.Fprintf(w, "migrated tasks\t%d (remote refs %d)\n", s.TasksMigrated, s.RemoteDataAccess)
+	if s.Reclassifications > 0 {
+		fmt.Fprintf(w, "online reclassifications\t%d\n", s.Reclassifications)
+	}
 	if s.CacheRefs > 0 {
 		fmt.Fprintf(w, "modelled L1d miss rate\t%.1f%%\n", s.CacheMissRate())
 	}

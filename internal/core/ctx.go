@@ -56,9 +56,6 @@ func (f *finish) firstErr() any {
 
 func (f *finish) isDone() bool { return f.pending.Load() == 0 }
 
-// waitExternal blocks a goroutine outside the worker pool.
-func (f *finish) waitExternal() { <-f.doneCh }
-
 // Ctx is the execution context passed to every activity body. It carries
 // the current place and the enclosing finish scope, and exposes the APGAS
 // spawning operations.
@@ -133,13 +130,23 @@ func (c *Ctx) Finish(body func(*Ctx)) {
 }
 
 // waitHelping blocks until fin completes, executing other queued work in
-// the meantime (help-first semantics of the X10 scheduler).
+// the meantime (help-first semantics of the X10 scheduler). A runtime
+// shutdown releases the wait: pending activities in the scope are
+// abandoned (the documented Shutdown contract), which keeps a worker
+// parked inside a nested finish from deadlocking ShutdownContext after
+// its peers — the only ones who could have completed the scope — exited.
 func (c *Ctx) waitHelping(fin *finish) {
 	if c.worker == nil {
-		fin.waitExternal()
+		select {
+		case <-fin.doneCh:
+		case <-c.rt.stopCh:
+		}
 		return
 	}
 	for !fin.isDone() {
+		if c.rt.shutdown.Load() {
+			return
+		}
 		a, how := c.worker.findWork()
 		if a != nil {
 			c.worker.run(a, how)
@@ -148,6 +155,8 @@ func (c *Ctx) waitHelping(fin *finish) {
 		select {
 		case <-c.worker.place.wake:
 		case <-fin.doneCh:
+			return
+		case <-c.rt.stopCh:
 			return
 		case <-time.After(c.rt.cfg.IdlePoll):
 		}

@@ -18,6 +18,10 @@ type activity struct {
 	loc  task.Locality
 	home int // programmer-specified place
 	fin  *finish
+	// kind is the adapt controller's interned id for this activity's
+	// locality signature (adaptive policy only; see Runtime.mapClass).
+	kind     int32
+	interned bool
 }
 
 // place mirrors the paper's Fig. 2: several workers with private deques
@@ -214,6 +218,9 @@ type worker struct {
 	priv  workerDeque
 	cache *cachesim.Cache
 	rng   *rand.Rand
+	// victims is sweep-order scratch reused across adaptive remote
+	// steals so victim ordering does not allocate per sweep.
+	victims []int
 }
 
 // loop is Algorithm 1 lines 9–29. A worker whose place fail-stops exits
@@ -296,20 +303,41 @@ func (w *worker) findWork() (*activity, stealKind) {
 func (w *worker) stealRemote() *activity {
 	rt := w.place.rt
 	chunkSize := sched.RemoteChunk(rt.cfg.Policy)
+	if rt.ctrl != nil {
+		chunkSize = rt.ctrl.Chunk(w.place.id)
+	}
 	// Acquisition latency (probe round trips, backoff waits, transfer) is
-	// only measured when tracing is on; the disabled path stays clock-free.
+	// only measured when tracing is on or the adapt controller needs it to
+	// bias victim selection; the plain path stays clock-free.
+	timing := rt.rec != nil || rt.ctrl != nil
 	var sweepStart time.Time
-	if rt.rec != nil {
+	if timing {
 		sweepStart = time.Now()
 	}
-	for _, v := range sched.VictimOrder(rt.cfg.Policy, w.place.id, len(rt.places), w.rng) {
+	victims := sched.VictimOrder(rt.cfg.Policy, w.place.id, len(rt.places), w.rng)
+	if rt.ctrl != nil {
+		w.victims = rt.ctrl.AppendVictimOrder(w.victims[:0], w.place.id, w.rng)
+		victims = w.victims
+	}
+	for _, v := range victims {
 		victim := rt.places[v]
 		if victim.dead.Load() {
 			continue
 		}
+		var probeStart time.Time
+		if rt.ctrl != nil {
+			probeStart = time.Now()
+		}
 		chunk := w.probeVictim(victim, chunkSize)
 		if chunk == nil {
+			if rt.ctrl != nil {
+				rt.ctrl.ObserveSteal(w.place.id, v, time.Since(probeStart).Nanoseconds(), 0, 0)
+			}
 			continue
+		}
+		if rt.ctrl != nil {
+			rt.ctrl.ObserveSteal(w.place.id, v, time.Since(probeStart).Nanoseconds(),
+				len(chunk), victim.shared.Len())
 		}
 		victim.queued.Add(-int32(len(chunk)))
 		rt.counters.RemoteSteals.Add(int64(len(chunk)))
@@ -446,6 +474,17 @@ func (w *worker) run(a *activity, how stealKind) {
 	rt.record(p.id, w.local, obs.KindTaskEnd, -1, 0, elapsed)
 	rt.counters.TasksExecuted.Add(1)
 	p.running.Add(-1)
+
+	// Feed the measured service time back to the adapt controller. The
+	// in-process runtime has no instrumented data-locality penalty (no
+	// hardware counters), so it passes 0 and the controller falls back to
+	// the home/away service-time ratio alone.
+	if rt.ctrl != nil {
+		if flipped, cls := rt.ctrl.ObserveExec(a.kind, migrated, elapsed, 0); flipped {
+			rt.counters.Reclassifications.Add(1)
+			rt.record(p.id, w.local, obs.KindReclassify, -1, int32(cls), 0)
+		}
+	}
 
 	// Fault plan: fail-stop this place once it has executed its quota.
 	if n, ok := rt.inj.CrashAfterTasks(p.id); ok && p.executed.Add(1) >= n {

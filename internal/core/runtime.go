@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distws/internal/adapt"
 	"distws/internal/comm"
 	"distws/internal/fault"
 	"distws/internal/metrics"
@@ -79,6 +80,12 @@ type Config struct {
 	// arrivals, crashes) stamped in wall-clock nanoseconds since New.
 	// Nil (the default) records nothing and costs one branch per event.
 	Recorder *obs.Recorder
+	// Adapt, when non-nil and Policy is sched.Adaptive, is the online
+	// classification controller driving the run; callers pass one to
+	// inspect its learned state after the run. Nil under sched.Adaptive
+	// creates a fresh controller with default thresholds. Ignored under
+	// other policies.
+	Adapt *adapt.Controller
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +118,11 @@ type Runtime struct {
 	counters metrics.Counters
 	util     *metrics.Utilization
 	rec      *obs.Recorder // scheduling-event recorder (nil = tracing off)
+	// ctrl is the adapt feedback controller (non-nil only under
+	// sched.Adaptive): it supplies each activity's online classification
+	// in place of the annotation, the per-place steal chunk size, and
+	// the latency-biased victim order.
+	ctrl *adapt.Controller
 
 	// inj evaluates the injected fault plan (nil-safe when fault-free);
 	// down records which places have failed, for victim exclusion and
@@ -119,6 +131,10 @@ type Runtime struct {
 	down *fault.DownSet
 
 	shutdown atomic.Bool
+	// stopCh is closed by the first Shutdown so blocked RunContext calls
+	// unblock with ErrShutdown instead of waiting on a finish that the
+	// exiting workers will never complete.
+	stopCh   chan struct{}
 	workerWG sync.WaitGroup
 
 	started time.Time
@@ -145,11 +161,18 @@ func New(cfg Config) (*Runtime, error) {
 		rec:     cfg.Recorder,
 		inj:     fault.NewInjector(cfg.Fault),
 		down:    fault.NewDownSet(cfg.Cluster.Places),
+		stopCh:  make(chan struct{}),
 		started: time.Now(),
 	}
 	if rt.rec != nil {
 		rt.rec.Configure(cfg.Cluster.Places, cfg.Cluster.WorkersPerPlace,
 			obs.WallClockSince(rt.started), obs.WallNS)
+	}
+	if cfg.Policy == sched.Adaptive {
+		rt.ctrl = cfg.Adapt
+		if rt.ctrl == nil {
+			rt.ctrl = adapt.New(adapt.Config{Places: cfg.Cluster.Places})
+		}
 	}
 	rt.places = make([]*place, cfg.Cluster.Places)
 	for p := range rt.places {
@@ -198,6 +221,7 @@ func (rt *Runtime) Shutdown() { _ = rt.ShutdownContext(context.Background()) }
 // call waits for the remainder. Idempotent.
 func (rt *Runtime) ShutdownContext(ctx context.Context) error {
 	if !rt.shutdown.Swap(true) {
+		close(rt.stopCh)
 		for _, p := range rt.places {
 			p.wakeAll()
 		}
@@ -228,7 +252,10 @@ func (rt *Runtime) Run(body func(*Ctx)) error {
 // returns ctx.Err() immediately, but the activities already spawned are
 // not interrupted — they drain in the background on the worker pool, and
 // Shutdown still waits for the workers themselves. A runtime that has been
-// shut down returns ErrShutdown.
+// shut down returns ErrShutdown — including a runtime shut down while the
+// run is in flight: the workers exit at their next scheduling point and
+// would never complete the finish, so the blocked run unblocks with
+// ErrShutdown instead of hanging (distws-run -timeout relies on this).
 func (rt *Runtime) RunContext(ctx context.Context, body func(*Ctx)) error {
 	if rt.shutdown.Load() {
 		return ErrShutdown
@@ -246,6 +273,8 @@ func (rt *Runtime) RunContext(ctx context.Context, body func(*Ctx)) error {
 	}, -1, nil)
 	select {
 	case <-fin.doneCh:
+	case <-rt.stopCh:
+		return ErrShutdown
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -271,8 +300,25 @@ func (rt *Runtime) spawn(a *activity, from int, spawner *worker) {
 		rt.counters.Messages.Add(1)
 		rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
 	}
-	target := sched.MapTask(rt.cfg.Policy, a.loc.Class, home.load(), home.nextSeq())
+	target := sched.MapTask(rt.cfg.Policy, rt.mapClass(a), home.load(), home.nextSeq())
 	home.enqueue(a, target, spawner)
+}
+
+// mapClass resolves the class Algorithm 1 maps an activity by: the
+// programmer's annotation, or — under the adaptive policy — the
+// controller's learned classification of the activity's kind, interned
+// on first sight from observable locality attributes (footprint, remote
+// references, migration payload; cost is unknown up front in a real
+// runtime and enters the signature as zero).
+func (rt *Runtime) mapClass(a *activity) task.Class {
+	if rt.ctrl == nil {
+		return a.loc.Class
+	}
+	if !a.interned {
+		a.kind = rt.ctrl.Intern(adapt.Signature(0, len(a.loc.Blocks), a.loc.RemoteRefs, a.loc.MigrationBytes))
+		a.interned = true
+	}
+	return rt.ctrl.Classify(a.kind)
 }
 
 // crashPlace fail-stops p: its workers exit after the activity they are
@@ -323,7 +369,7 @@ func (rt *Runtime) rescue(p *place) {
 		rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
 		a.home = rt.down.NextAlive(p.id + 1 + i)
 		home := rt.places[a.home]
-		target := sched.MapTask(rt.cfg.Policy, a.loc.Class, home.load(), home.nextSeq())
+		target := sched.MapTask(rt.cfg.Policy, rt.mapClass(a), home.load(), home.nextSeq())
 		home.enqueue(a, target, nil)
 	}
 }

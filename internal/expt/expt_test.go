@@ -336,3 +336,50 @@ func TestStealRatioFallsWithScale(t *testing.T) {
 			small, medium)
 	}
 }
+
+// The ISSUE acceptance bar for the adaptive policy: within 5% of
+// annotated DistWS per app, and on the suite geomean strictly above the
+// locality-oblivious baselines — with zero annotations, under a fixed
+// seed (the harness is deterministic, so this is a pinned outcome, not
+// a statistical one).
+func TestAdaptiveWithinBarOfDistWS(t *testing.T) {
+	rows, err := testRunner.AdaptiveStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 apps", len(rows))
+	}
+	var distws, distwsns, random, adaptive []float64
+	var reclass int64
+	for _, row := range rows {
+		if row.GapPct < -5.0 {
+			t.Errorf("%s: adaptive %.1f is %.1f%% below DistWS %.1f (bar: -5%%)",
+				row.App, row.Adaptive, -row.GapPct, row.DistWS)
+		}
+		distws = append(distws, row.DistWS)
+		distwsns = append(distwsns, row.DistWSNS)
+		random = append(random, row.RandomWS)
+		adaptive = append(adaptive, row.Adaptive)
+		reclass += row.Reclass
+	}
+	gm := geomean(adaptive)
+	if base := geomean(distws); gm < 0.95*base {
+		t.Errorf("adaptive geomean %.2f below 95%% of DistWS %.2f", gm, base)
+	}
+	if ns := geomean(distwsns); gm <= ns {
+		t.Errorf("adaptive geomean %.2f does not beat DistWS-NS %.2f", gm, ns)
+	}
+	if rnd := geomean(random); gm <= rnd {
+		t.Errorf("adaptive geomean %.2f does not beat RandomWS %.2f", gm, rnd)
+	}
+	// Zero reclassifications would mean the controller never engaged:
+	// the suite contains sensitive kinds it must discover online.
+	if reclass == 0 {
+		t.Errorf("no reclassifications across the suite: controller inert")
+	}
+	out := RenderAdaptive(rows)
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "Reclass") {
+		t.Fatalf("render missing aggregate or flip column:\n%s", out)
+	}
+}

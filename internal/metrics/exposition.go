@@ -33,6 +33,7 @@ var expoFields = []struct {
 	{"distws_places_lost_total", "Places that crashed during the run.", func(s Snapshot) int64 { return s.PlacesLost }},
 	{"distws_tasks_reexecuted_total", "Tasks re-enqueued after a place failure.", func(s Snapshot) int64 { return s.TasksReExecuted }},
 	{"distws_backpressure_total", "Sends that found a full inbox or link queue.", func(s Snapshot) int64 { return s.Backpressure }},
+	{"distws_reclassifications_total", "Online task-kind classification flips (adaptive policy).", func(s Snapshot) int64 { return s.Reclassifications }},
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition

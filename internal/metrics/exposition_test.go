@@ -42,6 +42,7 @@ func TestPrometheusGolden(t *testing.T) {
 		"distws_places_lost_total",
 		"distws_tasks_reexecuted_total",
 		"distws_backpressure_total",
+		"distws_reclassifications_total",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("exposition has %d samples, want %d:\n%v", len(names), len(want), names)

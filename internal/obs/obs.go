@@ -101,6 +101,11 @@ const (
 	// KindCrash marks a place fail-stopping. Arg = orphaned tasks
 	// re-homed to survivors.
 	KindCrash
+	// KindReclassify marks the adapt controller flipping a task kind's
+	// online classification (adaptive policy). Task = the task whose
+	// completion triggered the flip (-1 in the real runtime), Arg = the
+	// new class (0 sensitive, 1 flexible).
+	KindReclassify
 	numKinds
 )
 
@@ -115,6 +120,7 @@ var kindNames = [...]string{
 	KindTimeout:     "timeout",
 	KindArrive:      "arrive",
 	KindCrash:       "crash",
+	KindReclassify:  "reclassify",
 }
 
 // String returns the stable wire name of the kind (used by the native

@@ -5,7 +5,7 @@
 // (internal/sim). Keeping the decision logic in one place guarantees the
 // simulator evaluates exactly the policy the library ships.
 //
-// Five policies are provided:
+// Six policies are provided:
 //
 //   - X10WS: the baseline X10 scheduler — help-first work stealing strictly
 //     within a place; no distributed steals (paper §III).
@@ -21,6 +21,12 @@
 //   - LifelineWS: Saraswat-style lifeline-based global load balancing
 //     (§X) — random stealing first, then quiesce on a hypercube lifeline
 //     graph and wait for work to be pushed.
+//   - Adaptive: DistWS's mapping with the programmer's annotation replaced
+//     by an online classification from internal/adapt — the runtime
+//     observes per-kind remote slowdowns and pins kinds itself, and also
+//     tunes the steal chunk size and victim order from feedback. The
+//     decision functions here treat Adaptive exactly like DistWS; the
+//     class fed into MapTask is the controller's, not the programmer's.
 package sched
 
 import (
@@ -40,6 +46,7 @@ const (
 	DistWSNS
 	RandomWS
 	LifelineWS
+	Adaptive
 	numKinds
 )
 
@@ -49,6 +56,7 @@ var kindNames = [...]string{
 	DistWSNS:   "DistWS-NS",
 	RandomWS:   "RandomWS",
 	LifelineWS: "LifelineWS",
+	Adaptive:   "Adaptive",
 }
 
 // String returns the paper's name for the policy.
@@ -64,11 +72,11 @@ func Valid(k Kind) bool { return k < numKinds }
 
 // Kinds lists all policies in presentation order.
 func Kinds() []Kind {
-	return []Kind{X10WS, DistWS, DistWSNS, RandomWS, LifelineWS}
+	return []Kind{X10WS, DistWS, DistWSNS, RandomWS, LifelineWS, Adaptive}
 }
 
 // Parse resolves a case-insensitive policy name ("distws", "x10ws",
-// "distws-ns", "nonselective", "random", "lifeline").
+// "distws-ns", "nonselective", "random", "lifeline", "adaptive").
 func Parse(s string) (Kind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "x10ws", "x10":
@@ -81,8 +89,10 @@ func Parse(s string) (Kind, error) {
 		return RandomWS, nil
 	case "lifelinews", "lifeline":
 		return LifelineWS, nil
+	case "adaptive", "adapt":
+		return Adaptive, nil
 	default:
-		return 0, fmt.Errorf("sched: unknown policy %q (want x10ws, distws, distws-ns, random, or lifeline)", s)
+		return 0, fmt.Errorf("sched: unknown policy %q (want x10ws, distws, distws-ns, random, lifeline, or adaptive)", s)
 	}
 }
 
@@ -126,7 +136,10 @@ func MapTask(k Kind, class task.Class, load PlaceLoad, seq uint64) Target {
 		// Stock X10: every task goes to a private deque; there is no
 		// shared deque and no distributed stealing.
 		return TargetPrivate
-	case DistWS:
+	case DistWS, Adaptive:
+		// Adaptive maps exactly like DistWS; the difference is upstream —
+		// class is the adapt controller's online classification rather
+		// than the programmer's annotation.
 		if class == task.Sensitive {
 			return TargetPrivate
 		}
@@ -158,10 +171,12 @@ func RemoteStealing(k Kind) bool { return k != X10WS }
 
 // RemoteChunk returns how many tasks a distributed steal takes at once.
 // The paper's empirical sweet spot is 2 for both structured and bursty
-// task graphs (§V-B3); the UTS baselines steal single tasks.
+// task graphs (§V-B3); the UTS baselines steal single tasks. Adaptive
+// starts at the same 2 — its controller then moves each place's chunk
+// within [1, 4] from steal feedback, overriding this static value.
 func RemoteChunk(k Kind) int {
 	switch k {
-	case DistWS, DistWSNS:
+	case DistWS, DistWSNS, Adaptive:
 		return 2
 	case RandomWS, LifelineWS:
 		return 1

@@ -72,6 +72,26 @@ func TestMapTaskDistWSNSRoundRobin(t *testing.T) {
 	}
 }
 
+// Adaptive maps identically to DistWS for any (class, load) pair: the
+// policy's novelty is who supplies the class, not the mapping itself.
+func TestMapTaskAdaptiveMatchesDistWS(t *testing.T) {
+	loads := []PlaceLoad{
+		busyLoad(),
+		{Active: false, Size: 8, MaxThreads: 8},
+		{Active: true, Spares: 2, Size: 8, MaxThreads: 8},
+		{Active: true, Spares: 0, Size: 3, MaxThreads: 8},
+	}
+	for _, class := range []task.Class{task.Sensitive, task.Flexible} {
+		for _, load := range loads {
+			a := MapTask(Adaptive, class, load, 0)
+			d := MapTask(DistWS, class, load, 0)
+			if a != d {
+				t.Fatalf("Adaptive maps (%v, %+v) to %v, DistWS to %v", class, load, a, d)
+			}
+		}
+	}
+}
+
 func TestMapTaskRandomAndLifelineShared(t *testing.T) {
 	for _, k := range []Kind{RandomWS, LifelineWS} {
 		for _, class := range []task.Class{task.Sensitive, task.Flexible} {
@@ -86,7 +106,7 @@ func TestRemoteStealing(t *testing.T) {
 	if RemoteStealing(X10WS) {
 		t.Fatalf("X10WS must not steal remotely")
 	}
-	for _, k := range []Kind{DistWS, DistWSNS, RandomWS, LifelineWS} {
+	for _, k := range []Kind{DistWS, DistWSNS, RandomWS, LifelineWS, Adaptive} {
 		if !RemoteStealing(k) {
 			t.Fatalf("%v should steal remotely", k)
 		}
@@ -102,6 +122,9 @@ func TestChunks(t *testing.T) {
 	}
 	if got := RemoteChunk(RandomWS); got != 1 {
 		t.Fatalf("RandomWS RemoteChunk = %d, want 1", got)
+	}
+	if got := RemoteChunk(Adaptive); got != 2 {
+		t.Fatalf("Adaptive RemoteChunk = %d, want the paper's 2 as starting point", got)
 	}
 	if got := RemoteChunk(X10WS); got != 0 {
 		t.Fatalf("X10WS RemoteChunk = %d, want 0", got)
@@ -222,6 +245,7 @@ func TestParse(t *testing.T) {
 		"x10ws": X10WS, "X10WS": X10WS, "distws": DistWS,
 		"DistWS-NS": DistWSNS, "nonselective": DistWSNS,
 		"random": RandomWS, "lifeline": LifelineWS,
+		"adaptive": Adaptive, "Adapt": Adaptive,
 	}
 	for in, want := range cases {
 		got, err := Parse(in)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"distws/internal/adapt"
 	"distws/internal/cachesim"
 	"distws/internal/deque"
 	"distws/internal/fault"
@@ -82,6 +83,12 @@ type Options struct {
 	// export the trace with obs.Recorder.Snapshot after Run returns.
 	// Nil (the default) records nothing and costs one branch per event.
 	Recorder *obs.Recorder
+	// Adapt, when non-nil and the policy is sched.Adaptive, is the online
+	// classification controller driving the run; callers pass one to
+	// inspect its learned state (classifications, flips, chunk sizes)
+	// after Run returns. Nil under sched.Adaptive creates a fresh
+	// controller with default thresholds. Ignored under other policies.
+	Adapt *adapt.Controller
 }
 
 func (o Options) withDefaults() Options {
@@ -200,8 +207,8 @@ type simPlace struct {
 	// and is excluded from victim sweeps, wakes, and task homing.
 	dead bool
 	// executed counts tasks completed here, for AfterTasks crash triggers.
-	executed int64
-	lifelines    []bool // waiting places registered on this place
+	executed  int64
+	lifelines []bool // waiting places registered on this place
 	// cache models the node's data cache: tasks executing at their home
 	// place find their blocks warm across repeated visits; migrated tasks
 	// start cold (their blocks are aliased per executing place).
@@ -242,6 +249,13 @@ type engine struct {
 	eventsHandled int64
 	// rec receives scheduling events in virtual time (nil = tracing off).
 	rec *obs.Recorder
+	// ctrl is the adapt feedback controller (non-nil only under
+	// sched.Adaptive): it supplies each task's online classification in
+	// place of the trace annotation, the per-place steal chunk size, and
+	// the latency-biased victim order.
+	ctrl *adapt.Controller
+	// taskKind is each task's interned adapt kind id (sched.Adaptive only).
+	taskKind []int32
 
 	// Reused scratch storage for the hot path, so steady-state simulation
 	// performs no per-event heap allocations:
@@ -297,6 +311,20 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 	// tracing off.
 	e.rec.Configure(cl.Places, cl.WorkersPerPlace, nil, obs.VirtualNS)
 	e.inj = fault.NewInjector(opts.Fault)
+	if policy == sched.Adaptive {
+		e.ctrl = opts.Adapt
+		if e.ctrl == nil {
+			e.ctrl = adapt.New(adapt.Config{Places: cl.Places})
+		}
+		// Kinds are interned up front from observable task descriptors —
+		// never from the Flexible annotation, which the adaptive policy
+		// must not read.
+		e.taskKind = make([]int32, len(g.Tasks))
+		for i := range g.Tasks {
+			t := &g.Tasks[i]
+			e.taskKind[i] = e.ctrl.Intern(adapt.Signature(t.CostNS, len(t.Blocks), t.MigMsgs, t.MigBytes))
+		}
+	}
 	e.resolvedHome = make([]int, len(g.Tasks))
 	e.childSpawned = make([]bool, len(g.Tasks))
 	e.stealTimeoutNS = opts.StealTimeoutNS
@@ -448,7 +476,13 @@ func (e *engine) handleSpawn(ev event) {
 		e.ctrs.BytesTransferred.Add(int64(t.MigBytes))
 	}
 
-	target := sched.MapTask(e.policy, classOf(t), e.load(home), home.spawnSeq)
+	class := classOf(t)
+	if e.ctrl != nil {
+		// Adaptive: the controller's learned classification replaces the
+		// programmer's annotation; the mapping rule itself is Algorithm 1.
+		class = e.ctrl.Classify(e.taskKind[ev.taskID])
+	}
+	target := sched.MapTask(e.policy, class, e.load(home), home.spawnSeq)
 	if e.opts.ForceSharedFlexible && t.Flexible && sched.RemoteStealing(e.policy) {
 		target = sched.TargetShared
 	}
@@ -695,6 +729,9 @@ func (e *engine) findWork(w *simWorker) {
 // victim under exponential backoff before moving on.
 func (e *engine) stealRemote(w *simWorker) bool {
 	chunkSize := sched.RemoteChunk(e.policy)
+	if e.ctrl != nil {
+		chunkSize = e.ctrl.Chunk(w.place.id)
+	}
 	if e.opts.ChunkOverride > 0 {
 		chunkSize = e.opts.ChunkOverride
 	}
@@ -703,12 +740,20 @@ func (e *engine) stealRemote(w *simWorker) bool {
 	if w.rng == nil {
 		w.rng = rand.New(rand.NewSource(e.opts.Seed + int64(w.place.id*1000+w.local)))
 	}
-	w.victims = sched.AppendVictimOrder(w.victims[:0], e.policy, w.place.id, len(e.places), w.rng)
+	if e.ctrl != nil {
+		// Same randomized sweep, then stably reordered by observed steal
+		// latency (low first). The shuffle consumes the identical rng
+		// stream either way, preserving determinism.
+		w.victims = e.ctrl.AppendVictimOrder(w.victims[:0], w.place.id, w.rng)
+	} else {
+		w.victims = sched.AppendVictimOrder(w.victims[:0], e.policy, w.place.id, len(e.places), w.rng)
+	}
 	for _, v := range w.victims {
 		victim := e.places[v]
 		if victim.dead {
 			continue
 		}
+		probeStart := delay
 		ok := true
 		for attempt := 0; ; attempt++ {
 			e.ctrs.RemoteProbes.Add(1)
@@ -731,11 +776,17 @@ func (e *engine) stealRemote(w *simWorker) bool {
 			break
 		}
 		if !ok {
+			if e.ctrl != nil {
+				e.ctrl.ObserveSteal(w.place.id, v, delay-probeStart, 0, 0)
+			}
 			continue
 		}
 		chunk := victim.shared.StealChunkAppend(e.stealBuf[:0], chunkSize)
 		e.stealBuf = chunk[:0]
 		if len(chunk) == 0 {
+			if e.ctrl != nil {
+				e.ctrl.ObserveSteal(w.place.id, v, delay-probeStart, 0, 0)
+			}
 			continue
 		}
 		// Holding the victim's shared-deque lock for the removal.
@@ -748,6 +799,9 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		}
 		delay += e.cl.Net.TransferNS(bytes)
 		e.ctrs.BytesTransferred.Add(int64(bytes))
+		if e.ctrl != nil {
+			e.ctrl.ObserveSteal(w.place.id, v, delay-probeStart, len(chunk), victim.shared.Len())
+		}
 		e.record(w.place.id, w.local, obs.KindStealRemote, int32(chunk[0]), int32(v), delay)
 		if len(chunk) > 1 {
 			batch := append(e.getBatch(), chunk[1:]...)
@@ -835,7 +889,7 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 	e.record(p.id, w.local, obs.KindTaskStart, int32(id), int32(e.resolvedHome[id]), 0)
 
 	service := startDelay
-	if e.policy == sched.DistWS || e.policy == sched.DistWSNS {
+	if e.policy == sched.DistWS || e.policy == sched.DistWSNS || e.policy == sched.Adaptive {
 		// Bookkeeping for the dual-deque scheme and load exploration
 		// (the single-node overhead the paper reports).
 		service += e.cl.Over.MapDecisionNS
@@ -845,6 +899,10 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 	// resolved at spawn time (the victim's place for stolen tasks; the
 	// parent's executing place for HomeInherit children).
 	migrated := p.id != e.resolvedHome[id]
+	// penalty accumulates the data-locality share of the service time —
+	// remote-reference round trips and cache-miss stalls — which feeds
+	// the adapt classifier's penalty-fraction criterion.
+	var penalty int64
 	if migrated {
 		e.ctrs.TasksMigrated.Add(1)
 		if t.MigMsgs > 0 {
@@ -854,7 +912,9 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 			e.ctrs.Messages.Add(int64(t.MigMsgs))
 			e.ctrs.RemoteDataAccess.Add(int64(t.MigMsgs))
 			e.ctrs.BytesTransferred.Add(int64(t.MigMsgs * e.opts.RemoteRefBytes))
-			service += int64(t.MigMsgs) * e.cl.Net.RoundTripNS(32, e.opts.RemoteRefBytes)
+			refNS := int64(t.MigMsgs) * e.cl.Net.RoundTripNS(32, e.opts.RemoteRefBytes)
+			service += refNS
+			penalty += refNS
 		}
 	}
 	if t.BaseMsgs > 0 {
@@ -877,6 +937,7 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 			e.ctrs.CacheRefs.Add(n)
 			e.ctrs.CacheMisses.Add(n)
 			service += n * e.opts.MissPenaltyNS
+			penalty += n * e.opts.MissPenaltyNS
 		default:
 			blocks := t.Blocks
 			if migrated {
@@ -890,11 +951,21 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 				e.ctrs.CacheRefs.Add(int64(hits + misses))
 				e.ctrs.CacheMisses.Add(int64(misses))
 				service += int64(misses) * e.opts.MissPenaltyNS
+				penalty += int64(misses) * e.opts.MissPenaltyNS
 			}
 		}
 	}
 
 	service += t.CostNS
+	if e.ctrl != nil {
+		// Feed the controller the task's service time net of acquisition
+		// latency (isolating the execution-side cost) plus the measured
+		// data-locality penalty the classifier attributes to migration.
+		if flipped, cls := e.ctrl.ObserveExec(e.taskKind[id], migrated, service-startDelay, penalty); flipped {
+			e.ctrs.Reclassifications.Add(1)
+			e.record(p.id, w.local, obs.KindReclassify, int32(id), int32(cls), 0)
+		}
+	}
 	doneAt := e.now + service
 	w.busyNS += service
 	e.push(event{at: doneAt, kind: evDone, worker: w.id, taskID: id})
