@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke fuzz-smoke chaos
+.PHONY: all build test race vet check bench bench-smoke fuzz-smoke chaos soak
 
 all: check
 
@@ -43,6 +43,18 @@ check: build vet test race bench-smoke fuzz-smoke
 bench:
 	$(GO) run ./cmd/distws-bench -out BENCH_sim.json
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . ./internal/comm
+
+# Churn soak: dynamic-membership endurance under the race detector —
+# concurrent joins, graceful drains, a healing partition, and a flapping
+# place, in both the simulator and the TCP-mesh runtime — plus a short
+# shake of the membership wire codec. Deterministic (fixed seeds), but
+# heavier than the tier-1 gate, so it runs as its own target and as a
+# non-blocking CI job.
+soak:
+	$(GO) test -race -count=1 -v -run 'TestChurn' -timeout 10m .
+	$(GO) test -race -count=1 -run 'Churn|Drain|Join|Flap|Partition|Gray|Heartbeat|Survivors|Retry|Rejoin|Member|Detector' \
+		-timeout 10m ./internal/node/ ./internal/sim/ ./internal/core/ ./internal/member/
+	$(GO) test -run='^$$' -fuzz=FuzzMemberPayload -fuzztime=15s ./internal/member
 
 # Fault-injection suite only (also part of `test`).
 chaos:

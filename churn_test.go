@@ -1,0 +1,330 @@
+// Churn soak: the full dynamic-membership vocabulary — runtime joins,
+// graceful drains, a healing partition, and a flapping place — driven
+// through the simulator (deterministically, rerun-compared) and through
+// the TCP-mesh node protocol (wall clock, real sockets, under -race).
+package distws_test
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"distws/internal/apps/suite"
+	"distws/internal/comm"
+	"distws/internal/fault"
+	"distws/internal/metrics"
+	"distws/internal/node"
+	"distws/internal/sched"
+	"distws/internal/sim"
+	"distws/internal/task"
+	"distws/internal/topology"
+)
+
+// churnSoakCluster is the 6-place stage all soak scenarios run on: two
+// members drain, two join late, one flaps, one is partitioned.
+func churnSoakCluster() topology.Cluster {
+	c := topology.Paper()
+	c.Places, c.WorkersPerPlace = 6, 2
+	return c
+}
+
+// churnSoakPlan is the full churn vocabulary on virtual time: two late
+// joins, two graceful drains, one flap cycle, a healing partition, a
+// gray link, plus background loss and duplication.
+func churnSoakPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed:     11,
+		DropProb: 0.02,
+		DupProb:  0.05,
+		Joins: []fault.Join{
+			{Place: 4, AtNS: 1_000_000},
+			{Place: 5, AtNS: 2_000_000},
+		},
+		Drains: []fault.Drain{
+			{Place: 1, AtNS: 3_000_000},
+			{Place: 2, AtNS: 5_000_000},
+		},
+		Flaps: []fault.Flap{
+			{Place: 3, AtNS: 4_000_000, DownNS: 1_500_000, UpNS: 1_500_000, Cycles: 1},
+		},
+		Partitions: []fault.Partition{
+			{GroupA: []int{0, 1, 2}, AtNS: 500_000, HealNS: 8_000_000},
+		},
+		Grays: []fault.Gray{
+			{From: 0, To: 3, ExtraNS: 50_000, AtNS: 1_000_000, UntilNS: 6_000_000},
+		},
+	}
+}
+
+// TestChurnSimSoak drives UTS through the simulator under the full churn
+// plan: every task executes, the membership ledger matches the schedule,
+// and a rerun under the same seed is bit-identical.
+func TestChurnSimSoak(t *testing.T) {
+	cl := churnSoakCluster()
+	g, err := suite.UTS(1).Trace(cl.Places)
+	if err != nil {
+		t.Fatalf("uts trace: %v", err)
+	}
+	opts := sim.Options{Seed: 7, Fault: churnSoakPlan()}
+	a, err := sim.Run(g, cl, sched.DistWS, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if int(a.Counters.TasksExecuted) != g.NumTasks() {
+		t.Errorf("executed %d of %d tasks under full churn", a.Counters.TasksExecuted, g.NumTasks())
+	}
+	c := a.Counters
+	if c.MembershipJoins != 2 || c.MembershipDrains != 2 {
+		t.Errorf("joins=%d drains=%d, want 2/2", c.MembershipJoins, c.MembershipDrains)
+	}
+	if c.PlacesLost != 1 || c.MembershipRejoins != 1 {
+		t.Errorf("flap: lost=%d rejoins=%d, want 1/1", c.PlacesLost, c.MembershipRejoins)
+	}
+	if c.TasksOffloaded == 0 {
+		t.Errorf("drains offloaded nothing")
+	}
+	if c.DroppedMessages == 0 || c.StealTimeouts == 0 {
+		t.Errorf("the partition dropped nothing: %+v", c)
+	}
+	b, err := sim.Run(g, cl, sched.DistWS, opts)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if a.MakespanNS != b.MakespanNS || a.Counters != b.Counters {
+		t.Errorf("churn soak is nondeterministic:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+}
+
+// TestChurnSimSoakDrainOnly is the exactly-once half of the contract:
+// with no crash in the plan (joins, drains, and a healing partition
+// only), nothing may be re-executed and nothing counted lost.
+func TestChurnSimSoakDrainOnly(t *testing.T) {
+	cl := churnSoakCluster()
+	g, err := suite.UTS(1).Trace(cl.Places)
+	if err != nil {
+		t.Fatalf("uts trace: %v", err)
+	}
+	plan := churnSoakPlan()
+	plan.Flaps, plan.DropProb, plan.DupProb = nil, 0, 0
+	a, err := sim.Run(g, cl, sched.DistWS, sim.Options{Seed: 7, Fault: plan})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if int(a.Counters.TasksExecuted) != g.NumTasks() {
+		t.Errorf("executed %d of %d", a.Counters.TasksExecuted, g.NumTasks())
+	}
+	if a.Counters.TasksReExecuted != 0 {
+		t.Errorf("drains and a healing partition re-executed %d tasks, want 0", a.Counters.TasksReExecuted)
+	}
+	if a.Counters.PlacesLost != 0 {
+		t.Errorf("graceful churn counted %d places lost, want 0", a.Counters.PlacesLost)
+	}
+	if a.Counters.MembershipJoins != 2 || a.Counters.MembershipDrains != 2 {
+		t.Errorf("joins=%d drains=%d, want 2/2", a.Counters.MembershipJoins, a.Counters.MembershipDrains)
+	}
+}
+
+// TestChurnMeshSoak stages the same vocabulary on real sockets: six
+// mesh places, two executors draining after a few batches, two joining
+// late, one cut off by a partition that heals (the failure detector
+// declares it down, the heartbeat ack tells it to rejoin with a bumped
+// incarnation, and its links are never evicted), and one crash-restart
+// flap. Every batch must be accounted exactly once and no goroutines
+// may leak.
+func TestChurnMeshSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second churn soak")
+	}
+	baseline := runtime.NumGoroutine()
+
+	const places = 6
+	reg := task.NewRegistry()
+	reg.Register("soak.echo", func([]byte) error { return nil })
+
+	lns := make([]net.Listener, places)
+	addrs := make([]string, places)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	// Only the partition comes from the injector; drains, joins, and the
+	// flap are staged by the processes themselves, as they would be in
+	// production.
+	partPlan := &fault.Plan{
+		Seed: 11,
+		Partitions: []fault.Partition{
+			{GroupA: []int{3}, AtNS: (100 * time.Millisecond).Nanoseconds(),
+				HealNS: (450 * time.Millisecond).Nanoseconds()},
+		},
+	}
+	var ctrs metrics.Counters
+	meshes := make([]*comm.TCPMesh, places)
+	for i := range meshes {
+		opts := comm.MeshOptions{Listener: lns[i]}
+		if i == 0 {
+			opts.Counters = &ctrs
+		}
+		m, err := comm.ListenMeshTCP(addrs, i, opts)
+		if err != nil {
+			t.Fatalf("mesh %d: %v", i, err)
+		}
+		m.InjectFaults(fault.NewInjector(partPlan))
+		meshes[i] = m
+	}
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+
+	echo := func(_ string, arg []byte) ([]byte, error) {
+		time.Sleep(15 * time.Millisecond)
+		return u64s(binary.BigEndian.Uint64(arg) * 3), nil
+	}
+	const hb = 25 * time.Millisecond
+	exDone := make(chan error, places)
+
+	// Places 1 and 2: graceful drains after a few batches.
+	for _, d := range []struct{ place, after int }{{1, 2}, {2, 3}} {
+		go func(place, after int) {
+			ex := &node.Executor{Node: meshes[place], Place: place, Registry: reg,
+				Run: echo, Heartbeat: hb, DrainAfter: after}
+			_, err := ex.Serve()
+			exDone <- err
+		}(d.place, d.after)
+	}
+	// Place 3: the partition victim. It keeps serving; the cut, the
+	// detector's verdict, and the post-heal rejoin all happen to it.
+	go func() {
+		ex := &node.Executor{Node: meshes[3], Place: 3, Registry: reg,
+			Run: echo, Heartbeat: hb}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+	// Place 4: late joiner.
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		ex := &node.Executor{Node: meshes[4], Place: 4, Registry: reg,
+			Run: echo, Heartbeat: hb, Announce: true}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+	// Place 5: late joiner that flaps — it fail-stops after two batches
+	// (transport eviction, work re-dispatched), then restarts as a new
+	// process with a bumped incarnation and rejoins.
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		ex := &node.Executor{Node: meshes[5], Place: 5, Registry: reg,
+			Run: echo, Heartbeat: hb, Announce: true, CrashAfter: 2}
+		if _, err := ex.Serve(); err != nil {
+			exDone <- err
+			return
+		}
+		meshes[5].Close() // fail-stop: the link dies with the process
+		time.Sleep(150 * time.Millisecond)
+		reborn, err := comm.ListenMeshTCP(addrs, 5, comm.MeshOptions{Incarnation: 2})
+		if err != nil {
+			exDone <- err
+			return
+		}
+		meshes[5] = reborn // the deferred close picks up the new life
+		ex = &node.Executor{Node: reborn, Place: 5, Registry: reg,
+			Run: echo, Heartbeat: hb, Announce: true, Incarnation: 2}
+		_, err = ex.Serve()
+		exDone <- err
+	}()
+
+	const batches = 90
+	work := make([]node.Batch, batches)
+	for i := range work {
+		work[i] = node.Batch{ID: i, Arg: u64s(uint64(i))}
+	}
+	var mu sync.Mutex
+	calls := make(map[int]int)
+	coord := &node.Coordinator{
+		Node:       meshes[0],
+		Places:     places,
+		Counters:   &ctrs,
+		TaskName:   "soak.echo",
+		Absent:     []int{4, 5},
+		Heartbeat:  hb,
+		RetryAfter: 3 * time.Second,
+		OnResult: func(id int, result []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls[id]++
+			if got := binary.BigEndian.Uint64(result); got != uint64(id)*3 {
+				t.Errorf("batch %d result = %d, want %d", id, got, uint64(id)*3)
+			}
+		},
+		Logf: t.Logf,
+	}
+	if err := coord.Run(work); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i := 0; i < places-1; i++ {
+		if err := <-exDone; err != nil {
+			t.Fatalf("executor: %v", err)
+		}
+	}
+
+	mu.Lock()
+	for i := 0; i < batches; i++ {
+		if calls[i] != 1 {
+			t.Errorf("batch %d accounted %d times, want exactly once", i, calls[i])
+		}
+	}
+	mu.Unlock()
+	s := ctrs.Snapshot()
+	if s.MembershipJoins != 2 {
+		t.Errorf("MembershipJoins = %d, want 2 (places 4 and 5)", s.MembershipJoins)
+	}
+	if s.MembershipDrains != 2 {
+		t.Errorf("MembershipDrains = %d, want 2 (places 1 and 2)", s.MembershipDrains)
+	}
+	if s.MembershipRejoins != 2 {
+		t.Errorf("MembershipRejoins = %d, want 2 (healed place 3, restarted place 5)", s.MembershipRejoins)
+	}
+	if s.PlacesLost != 2 {
+		t.Errorf("PlacesLost = %d, want 2 (partitioned place 3, crashed place 5)", s.PlacesLost)
+	}
+	if s.HeartbeatMisses == 0 {
+		t.Errorf("the partition was never suspected by the detector")
+	}
+	if s.TasksOffloaded == 0 {
+		t.Errorf("the drains offloaded nothing")
+	}
+	// The healed partition must have re-established the link, not
+	// evicted it: place 3 rejoined through the same mesh attachment.
+	if meshes[0].Down(3) {
+		t.Errorf("place 0 still considers the healed place 3 down")
+	}
+
+	// No goroutine leaks: every Serve loop, heartbeat ticker, and mesh
+	// read/write loop must have wound down once the meshes close.
+	for _, m := range meshes {
+		m.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d at start, %d after shutdown", baseline, runtime.NumGoroutine())
+}
+
+// u64s is the batch argument codec of the soak: big-endian uint64.
+func u64s(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}

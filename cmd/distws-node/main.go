@@ -28,6 +28,18 @@
 //	distws-node -transport tcp-mesh -addrs $A -place 1 &
 //	distws-node -transport tcp-mesh -addrs $A -place 2 &
 //
+// Membership is dynamic: a node can join late (-join, against a
+// coordinator started with -absent), drain gracefully mid-run
+// (-drain-after, nothing re-executed), and beat heartbeats (-hb) so the
+// coordinator's failure detector catches gray failures the transport
+// cannot see:
+//
+//	A=127.0.0.1:4242,127.0.0.1:4243,127.0.0.1:4244
+//	distws-node -transport tcp-mesh -addrs $A -place 0 -absent 2 -hb 100ms -batches 64 &
+//	distws-node -transport tcp-mesh -addrs $A -place 1 -hb 100ms -drain-after 8 &
+//	sleep 2
+//	distws-node -transport tcp-mesh -addrs $A -place 2 -hb 100ms -join &
+//
 // Any node can additionally serve live introspection while it runs:
 //
 //	distws-node -place 0 -places 3 -listen 127.0.0.1:8080   # /metrics, /debug/pprof
@@ -119,6 +131,11 @@ func run() error {
 		joinWait   = flag.Duration("join-timeout", 30*time.Second, "how long the coordinator waits for nodes")
 		batchWait  = flag.Duration("batch-timeout", 5*time.Second, "silence before outstanding batches are re-sent")
 		crashAfter = flag.Int("crash-after", 0, "fail-stop this node after N batches (0 = never; chaos demo)")
+		drainAfter = flag.Int("drain-after", 0, "gracefully drain this node after N batches (0 = never)")
+		heartbeat  = flag.Duration("hb", 0, "heartbeat cadence; on the coordinator it arms the failure detector, on a node it beats (0 = off)")
+		joinLate   = flag.Bool("join", false, "announce this node as a runtime joiner (pair with the coordinator's -absent)")
+		absent     = flag.String("absent", "", "comma-separated places absent at start that will -join later (coordinator only)")
+		incarn     = flag.Uint("incarnation", 0, "this node's starting incarnation; a restart passes a higher value than its previous life (0 = 1)")
 	)
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -130,7 +147,8 @@ func run() error {
 	if tr == comm.TransportInproc {
 		return fmt.Errorf("inproc runs in one process — use the distws library directly; pick tcp-hub or tcp-mesh here")
 	}
-	cfg := comm.NodeConfig{Transport: tr, Place: *place, Places: *places, Addr: *addr}
+	cfg := comm.NodeConfig{Transport: tr, Place: *place, Places: *places, Addr: *addr,
+		Incarnation: uint32(*incarn)}
 	if tr == comm.TransportTCPMesh {
 		if *addrs == "" {
 			return fmt.Errorf("tcp-mesh needs -addrs (comma-separated, one per place)")
@@ -155,9 +173,15 @@ func run() error {
 	defer n.Close()
 
 	if *place == 0 {
-		err = coordinate(n, cfg, &ctrs, *batches, *batchSz, *seed, *workers, *joinWait, *batchWait)
+		absentPlaces, perr := parseAbsent(*absent)
+		if perr != nil {
+			return perr
+		}
+		err = coordinate(n, cfg, &ctrs, *batches, *batchSz, *seed, *workers,
+			*joinWait, *batchWait, *heartbeat, absentPlaces)
 	} else {
-		err = serve(n, cfg, *place, *workers, *crashAfter, *joinWait)
+		err = serve(n, cfg, *place, *workers, *crashAfter, *drainAfter,
+			*joinWait, *heartbeat, *joinLate, uint32(*incarn))
 	}
 	if err != nil {
 		return err
@@ -167,10 +191,23 @@ func run() error {
 
 // coordinate runs place 0: await the cluster, dispatch batches through the
 // protocol coordinator, and report the estimate.
-func coordinate(n comm.Node, cfg comm.NodeConfig, ctrs *metrics.Counters, batches, batchSize int, seed int64, workers int, joinWait, batchWait time.Duration) error {
-	fmt.Printf("coordinator: %s on %s, waiting for %d node(s)\n", cfg.Transport, listenAddr(cfg), cfg.Places-1)
-	if err := n.AwaitTimeout(joinWait); err != nil {
-		return err
+func coordinate(n comm.Node, cfg comm.NodeConfig, ctrs *metrics.Counters, batches, batchSize int, seed int64, workers int, joinWait, batchWait, heartbeat time.Duration, absent []int) error {
+	waitFor := cfg.Places - 1 - len(absent)
+	fmt.Printf("coordinator: %s on %s, waiting for %d node(s)\n", cfg.Transport, listenAddr(cfg), waitFor)
+	if len(absent) == 0 {
+		if err := n.AwaitTimeout(joinWait); err != nil {
+			return err
+		}
+	} else {
+		// A partially assembled start only makes sense on the mesh, where
+		// peers link lazily; the hub's ready gate needs every spoke.
+		mesh, ok := n.(*comm.TCPMesh)
+		if !ok {
+			return fmt.Errorf("-absent needs -transport tcp-mesh (the hub waits for every spoke)")
+		}
+		if err := mesh.AwaitPeers(waitFor, joinWait); err != nil {
+			return err
+		}
 	}
 	fmt.Println("coordinator: cluster complete, dispatching")
 
@@ -208,6 +245,8 @@ func coordinate(n comm.Node, cfg comm.NodeConfig, ctrs *metrics.Counters, batche
 			totalInside += res.Inside
 		},
 		RetryAfter: batchWait,
+		Heartbeat:  heartbeat,
+		Absent:     absent,
 		Logf: func(format string, a ...any) {
 			fmt.Printf(format+"\n", a...)
 		},
@@ -225,11 +264,15 @@ func coordinate(n comm.Node, cfg comm.NodeConfig, ctrs *metrics.Counters, batche
 		fmt.Printf("recovered from %d place failure(s): %d batches re-dispatched, %d retried\n",
 			s.PlacesLost, s.TasksReExecuted, s.Retries)
 	}
+	if s.MembershipJoins > 0 || s.MembershipDrains > 0 || s.MembershipRejoins > 0 {
+		fmt.Printf("membership: %d join(s), %d drain(s), %d rejoin(s), %d batch(es) offloaded\n",
+			s.MembershipJoins, s.MembershipDrains, s.MembershipRejoins, s.TasksOffloaded)
+	}
 	return nil
 }
 
 // serve runs a non-coordinator place: execute arriving spawns locally.
-func serve(n comm.Node, cfg comm.NodeConfig, place, workers, crashAfter int, joinWait time.Duration) error {
+func serve(n comm.Node, cfg comm.NodeConfig, place, workers, crashAfter, drainAfter int, joinWait, heartbeat time.Duration, joinLate bool, incarnation uint32) error {
 	if err := n.AwaitTimeout(joinWait); err != nil {
 		return err
 	}
@@ -252,13 +295,33 @@ func serve(n comm.Node, cfg comm.NodeConfig, place, workers, crashAfter int, joi
 			}
 			return encode(piResult{Batch: args.Batch, Inside: inside}), nil
 		},
-		CrashAfter: crashAfter,
+		CrashAfter:  crashAfter,
+		DrainAfter:  drainAfter,
+		Heartbeat:   heartbeat,
+		Announce:    joinLate,
+		Incarnation: incarnation,
 		Logf: func(format string, a ...any) {
 			fmt.Printf(format+"\n", a...)
 		},
 	}
 	_, err = ex.Serve()
 	return err
+}
+
+// parseAbsent parses the coordinator's -absent list of late joiners.
+func parseAbsent(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p); err != nil || p <= 0 {
+			return nil, fmt.Errorf("-absent: bad place %q (want ids > 0)", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // listenAddr names the address this node is reachable on, for logs.

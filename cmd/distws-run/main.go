@@ -59,7 +59,23 @@ func run() error {
 		crashAt    = flag.Duration("crash-at", 0, "virtual time of the crash (sim mode)")
 		crashAfter = flag.Int64("crash-after-tasks", 0, "crash after this many tasks at the place (runtime mode)")
 		dropProb   = flag.Float64("drop", 0, "steal message drop probability [0,1]")
+		dupProb    = flag.Float64("dup", 0, "steal reply duplication probability [0,1]")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault injector")
+
+		partGroup = flag.String("partition", "", "comma-separated places forming one side of a network cut (e.g. 0,1)")
+		partAt    = flag.Duration("partition-at", time.Millisecond, "when the partition takes effect")
+		partHeal  = flag.Duration("partition-heal", 0, "when the partition heals (0 = never)")
+		grayLink  = flag.String("gray", "", "gray-degraded link as from:to, * matching any place (e.g. 0:2, *:1)")
+		grayExtra = flag.Duration("gray-extra", time.Millisecond, "extra one-way latency on the gray link")
+		flapPlace = flag.Int("flap-place", -1, "place to flap down/up repeatedly (-1 = none)")
+		flapAt    = flag.Duration("flap-at", time.Millisecond, "first flap outage instant")
+		flapDown  = flag.Duration("flap-down", time.Millisecond, "length of each flap outage")
+		flapUp    = flag.Duration("flap-up", time.Millisecond, "recovered time between flap outages")
+		flapCount = flag.Int("flap-cycles", 1, "number of flap outages")
+		joinPlace = flag.Int("join-place", -1, "place absent at start that joins mid-run (-1 = none)")
+		joinAt    = flag.Duration("join-at", time.Millisecond, "when the absent place joins")
+		drainPl   = flag.Int("drain-place", -1, "place to drain gracefully mid-run (-1 = none)")
+		drainAt   = flag.Duration("drain-at", time.Millisecond, "when the graceful drain starts")
 
 		traceOut    = flag.String("trace", "", "record scheduling events and write them to `file`")
 		traceFormat = flag.String("trace-format", "events", "trace output format: events, chrome, csv, summary")
@@ -96,16 +112,14 @@ func run() error {
 		return err
 	}
 
-	var plan *fault.Plan
-	if *crashPlace >= 0 || *dropProb > 0 {
-		plan = &fault.Plan{Seed: *faultSeed, DropProb: *dropProb}
-		if *crashPlace >= 0 {
-			plan.Crashes = []fault.Crash{{
-				Place:       *crashPlace,
-				AtVirtualNS: crashAt.Nanoseconds(),
-				AfterTasks:  *crashAfter,
-			}}
-		}
+	plan, err := buildPlan(*faultSeed, *dropProb, *dupProb,
+		*crashPlace, *crashAt, *crashAfter,
+		*partGroup, *partAt, *partHeal,
+		*grayLink, *grayExtra,
+		*flapPlace, *flapAt, *flapDown, *flapUp, *flapCount,
+		*joinPlace, *joinAt, *drainPl, *drainAt)
+	if err != nil {
+		return err
 	}
 
 	if err := diag.Start(); err != nil {
@@ -217,6 +231,111 @@ func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, tim
 	return nil
 }
 
+// buildPlan assembles the declarative fault schedule from the chaos
+// flags. Times are virtual nanoseconds in sim mode and wall nanoseconds
+// since run start in runtime mode — same flags, same schedule, both
+// clocks. Returns nil when no fault flag is set.
+func buildPlan(seed int64, drop, dup float64,
+	crashPlace int, crashAt time.Duration, crashAfter int64,
+	partGroup string, partAt, partHeal time.Duration,
+	grayLink string, grayExtra time.Duration,
+	flapPlace int, flapAt, flapDown, flapUp time.Duration, flapCycles int,
+	joinPlace int, joinAt time.Duration,
+	drainPlace int, drainAt time.Duration) (*fault.Plan, error) {
+	plan := &fault.Plan{Seed: seed, DropProb: drop, DupProb: dup}
+	used := drop > 0 || dup > 0
+	if crashPlace >= 0 {
+		used = true
+		plan.Crashes = []fault.Crash{{
+			Place:       crashPlace,
+			AtVirtualNS: crashAt.Nanoseconds(),
+			AfterTasks:  crashAfter,
+		}}
+	}
+	if partGroup != "" {
+		used = true
+		group, err := parsePlaces(partGroup)
+		if err != nil {
+			return nil, fmt.Errorf("-partition %q: %w", partGroup, err)
+		}
+		plan.Partitions = []fault.Partition{{
+			GroupA: group,
+			AtNS:   partAt.Nanoseconds(),
+			HealNS: partHeal.Nanoseconds(),
+		}}
+	}
+	if grayLink != "" {
+		used = true
+		from, to, err := parseLink(grayLink)
+		if err != nil {
+			return nil, fmt.Errorf("-gray %q: %w", grayLink, err)
+		}
+		plan.Grays = []fault.Gray{{From: from, To: to, ExtraNS: grayExtra.Nanoseconds()}}
+	}
+	if flapPlace >= 0 {
+		used = true
+		plan.Flaps = []fault.Flap{{
+			Place:  flapPlace,
+			AtNS:   flapAt.Nanoseconds(),
+			DownNS: flapDown.Nanoseconds(),
+			UpNS:   flapUp.Nanoseconds(),
+			Cycles: flapCycles,
+		}}
+	}
+	if joinPlace >= 0 {
+		used = true
+		plan.Joins = []fault.Join{{Place: joinPlace, AtNS: joinAt.Nanoseconds()}}
+	}
+	if drainPlace >= 0 {
+		used = true
+		plan.Drains = []fault.Drain{{Place: drainPlace, AtNS: drainAt.Nanoseconds()}}
+	}
+	if !used {
+		return nil, nil
+	}
+	return plan, nil
+}
+
+// parsePlaces parses a comma-separated place list such as "0,1".
+func parsePlaces(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p); err != nil || p < 0 {
+			return nil, fmt.Errorf("bad place %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseLink parses a directed link spec "from:to" where * matches any
+// place (fault.Link wildcard -1).
+func parseLink(s string) (from, to int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want from:to")
+	}
+	side := func(v string) (int, error) {
+		v = strings.TrimSpace(v)
+		if v == "*" {
+			return -1, nil
+		}
+		var p int
+		if _, err := fmt.Sscanf(v, "%d", &p); err != nil || p < 0 {
+			return 0, fmt.Errorf("bad place %q", v)
+		}
+		return p, nil
+	}
+	if from, err = side(parts[0]); err != nil {
+		return 0, 0, err
+	}
+	if to, err = side(parts[1]); err != nil {
+		return 0, 0, err
+	}
+	return from, to, nil
+}
+
 // policyNames lists the canonical -policy spellings, derived from the
 // scheduler registry so a new policy shows up here without CLI edits.
 func policyNames() []string {
@@ -254,5 +373,11 @@ func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
 	if s.PlacesLost > 0 || s.StealTimeouts > 0 || s.DroppedMessages > 0 {
 		fmt.Fprintf(w, "faults\t%d places lost, %d tasks re-executed, %d steal timeouts, %d retries, %d dropped messages\n",
 			s.PlacesLost, s.TasksReExecuted, s.StealTimeouts, s.Retries, s.DroppedMessages)
+	}
+	if s.MembershipJoins > 0 || s.MembershipDrains > 0 || s.MembershipRejoins > 0 ||
+		s.TasksOffloaded > 0 || s.DuplicatedMessages > 0 {
+		fmt.Fprintf(w, "membership\t%d joins, %d drains, %d rejoins, %d tasks offloaded, %d duplicated messages\n",
+			s.MembershipJoins, s.MembershipDrains, s.MembershipRejoins,
+			s.TasksOffloaded, s.DuplicatedMessages)
 	}
 }

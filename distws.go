@@ -99,6 +99,20 @@ type (
 	FaultPlan = fault.Plan
 	// Crash schedules one place failure inside a FaultPlan.
 	Crash = fault.Crash
+	// Partition splits the cluster into two halves for a window, healing
+	// at HealNS: cross-cut steal traffic is dropped, nothing is evicted.
+	Partition = fault.Partition
+	// Gray degrades one directed link (or a wildcard set) with extra
+	// latency for a window — slow, not dead.
+	Gray = fault.Gray
+	// Flap cycles one place down and up repeatedly: each down edge is a
+	// crash, each up edge a rejoin with fresh workers.
+	Flap = fault.Flap
+	// Join brings an initially absent place into the cluster mid-run.
+	Join = fault.Join
+	// Drain departs a place gracefully mid-run: queued work is offloaded
+	// to survivors, nothing is re-executed or counted lost.
+	Drain = fault.Drain
 	// FaultLink overrides drop/spike behaviour for one directed link.
 	FaultLink = fault.Link
 	// TraceRecorder collects per-worker scheduling events when attached

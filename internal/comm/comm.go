@@ -54,6 +54,27 @@ const (
 	KindShutdown
 )
 
+// Membership protocol kinds (internal/member). Numbered from 210 to
+// stay clear of both the dense scheduler kinds above and the transport
+// kinds (KindHello/KindPlaceDown at 200/201).
+const (
+	// KindHeartbeat carries a liveness beat from a member to the
+	// coordinator, and the coordinator's ack back (payload:
+	// member.Payload). Heartbeats are lossy — the next beat supersedes
+	// a lost one.
+	KindHeartbeat Kind = 210
+	// KindJoin announces a place joining (or rejoining with a bumped
+	// incarnation); payload: member.Payload.
+	KindJoin Kind = 211
+	// KindDrain announces the start of a graceful drain; payload:
+	// member.Payload.
+	KindDrain Kind = 212
+	// KindSpawnNack returns a queued-but-unstarted batch from a
+	// draining place so the coordinator re-dispatches it to a survivor;
+	// Seq carries the batch id like KindSpawn/KindSpawnDone.
+	KindSpawnNack Kind = 213
+)
+
 var kindNames = [...]string{
 	KindSpawn:     "spawn",
 	KindSpawnDone: "spawn-done",
@@ -71,6 +92,14 @@ func (k Kind) String() string {
 		return "hello"
 	case KindPlaceDown:
 		return "place-down"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindJoin:
+		return "join"
+	case KindDrain:
+		return "drain"
+	case KindSpawnNack:
+		return "spawn-nack"
 	}
 	if int(k) < len(kindNames) {
 		return kindNames[k]
@@ -120,11 +149,14 @@ func (e *BackpressureError) Error() string {
 // Is makes errors.Is(err, ErrBackpressure) match.
 func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
 
-// lossy reports whether injected message loss may apply to k. Only the
-// steal protocol tolerates silent loss (the thief times out and retries);
-// spawn, completion, and control traffic must be delivered for finish
-// accounting to terminate.
-func lossy(k Kind) bool { return k == KindStealReq || k == KindStealResp }
+// lossy reports whether injected message loss may apply to k. The steal
+// protocol tolerates silent loss (the thief times out and retries), and
+// so do heartbeats (the next beat supersedes a lost one); spawn,
+// completion, membership announcements, and control traffic must be
+// delivered for finish accounting to terminate.
+func lossy(k Kind) bool {
+	return k == KindStealReq || k == KindStealResp || k == KindHeartbeat
+}
 
 // Endpoint is one place's attachment to the transport.
 type Endpoint interface {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distws/internal/fault"
@@ -35,6 +36,12 @@ type MeshOptions struct {
 	// Listener, when non-nil, is used instead of binding addrs[place] —
 	// callers that pre-bind (tests, port-0 setups) inject it here.
 	Listener net.Listener
+	// Incarnation identifies this process generation of the place,
+	// carried in the hello handshake. A restarted place must dial with
+	// a strictly higher incarnation than its predecessor to be
+	// readmitted by peers that marked it down (see handshake). Zero
+	// picks 1.
+	Incarnation uint32
 }
 
 func (o MeshOptions) withDefaults() MeshOptions {
@@ -46,6 +53,9 @@ func (o MeshOptions) withDefaults() MeshOptions {
 	}
 	if o.LinkQueue <= 0 {
 		o.LinkQueue = defaultLinkQueue
+	}
+	if o.Incarnation == 0 {
+		o.Incarnation = 1
 	}
 	return o
 }
@@ -61,28 +71,41 @@ func (o MeshOptions) withDefaults() MeshOptions {
 // a single flusher goroutine drains whatever has accumulated into one
 // buffer and one conn.Write — under load, many messages per syscall.
 //
-// Failure model is fail-stop per link: a dial that exhausts its retries,
-// or a read/write error on an established connection, marks the peer down
-// for this node, fails subsequent sends to it with a typed
+// Failure model is fail-stop per link with rejoin: a dial that exhausts
+// its retries, or a read/write error on an established connection, marks
+// the peer down for this node, fails subsequent sends to it with a typed
 // *PlaceDownError, and posts a synthetic KindPlaceDown message to the
-// local inbox so the protocol layer can start recovery. A down peer may
-// not rejoin.
+// local inbox so the protocol layer can start recovery. A down peer is
+// not evicted forever: a fresh process of the same place that dials back
+// with a strictly higher incarnation in its hello is readmitted — the
+// down mark clears, the stale outbound link is discarded so the next
+// send dials fresh, and traffic flows again (see handshake). Hellos at
+// the old incarnation stay rejected, so a half-dead predecessor cannot
+// resurrect itself.
 type TCPMesh struct {
 	place int
 	addrs []string
 	opts  MeshOptions
-	inj   *fault.Injector // nil-safe; set via InjectFaults
-	rec   *obs.Recorder   // nil-safe; set via SetRecorder
 	ln    net.Listener
+	start time.Time // wall-clock origin for time-windowed fault injection
 
-	mu     sync.Mutex
-	links  map[int]*meshLink // outbound links by peer
-	in     map[int]net.Conn  // established inbound connections by peer
-	down   map[int]bool      // peers evicted after a link failure
-	seen   int               // distinct peers that completed an inbound handshake
-	closed bool
+	// Atomic because flusher/reader goroutines are already live when the
+	// owner arms them (a non-zero place dials place 0 eagerly inside
+	// ListenMeshTCP). Loads are nil-safe.
+	inj atomic.Pointer[fault.Injector] // set via InjectFaults
+	rec atomic.Pointer[obs.Recorder]   // set via SetRecorder
+
+	mu       sync.Mutex
+	links    map[int]*meshLink // outbound links by peer
+	in       map[int]net.Conn  // established inbound connections by peer
+	down     map[int]bool      // peers marked down after a link failure
+	peerInc  map[int]uint32    // last incarnation seen from each peer's hello
+	everSeen map[int]bool      // distinct peers that ever completed an inbound handshake
+	closed   bool
+	senders  sync.WaitGroup // in-flight deliverLocal sends; see Close
 
 	joined chan struct{} // closed once every other place has handshaked in
+	stop   chan struct{} // closed by Close; aborts dial backoff promptly
 	inbox  chan Message
 
 	// Coalescing introspection: outbound syscalls vs frames they carried.
@@ -111,15 +134,19 @@ func ListenMeshTCP(addrs []string, place int, opts MeshOptions) (*TCPMesh, error
 		}
 	}
 	t := &TCPMesh{
-		place:  place,
-		addrs:  addrs,
-		opts:   opts,
-		ln:     ln,
-		links:  make(map[int]*meshLink),
-		in:     make(map[int]net.Conn),
-		down:   make(map[int]bool),
-		joined: make(chan struct{}),
-		inbox:  make(chan Message, 1024),
+		place:    place,
+		addrs:    addrs,
+		opts:     opts,
+		ln:       ln,
+		start:    time.Now(),
+		links:    make(map[int]*meshLink),
+		in:       make(map[int]net.Conn),
+		down:     make(map[int]bool),
+		peerInc:  make(map[int]uint32),
+		everSeen: make(map[int]bool),
+		joined:   make(chan struct{}),
+		stop:     make(chan struct{}),
+		inbox:    make(chan Message, 1024),
 	}
 	go t.acceptLoop()
 	if place != 0 {
@@ -139,14 +166,14 @@ func (t *TCPMesh) Places() int { return len(t.addrs) }
 
 // InjectFaults arms sends and dials with a fault injector: steal messages
 // may be dropped, any message may suffer a latency spike, and dial
-// attempts on a lossy link may fail (exercising the backoff path). Call
-// before traffic starts; nil disarms.
-func (t *TCPMesh) InjectFaults(inj *fault.Injector) { t.inj = inj }
+// attempts on a lossy link may fail (exercising the backoff path). Safe
+// to call while links are live; nil disarms.
+func (t *TCPMesh) InjectFaults(inj *fault.Injector) { t.inj.Store(inj) }
 
 // SetRecorder attaches a scheduling-event recorder: inbound task arrivals
 // (KindArrive) and peer evictions (KindCrash) are recorded on this
-// place's track. Call before traffic starts; nil records nothing.
-func (t *TCPMesh) SetRecorder(rec *obs.Recorder) { t.rec = rec }
+// place's track. Safe to call while links are live; nil records nothing.
+func (t *TCPMesh) SetRecorder(rec *obs.Recorder) { t.rec.Store(rec) }
 
 // Down reports whether this node has marked peer p's link as failed.
 func (t *TCPMesh) Down(p int) bool {
@@ -166,7 +193,7 @@ func (t *TCPMesh) AwaitTimeout(d time.Duration) error {
 			return nil
 		case <-time.After(d):
 			t.mu.Lock()
-			seen := t.seen
+			seen := len(t.everSeen)
 			t.mu.Unlock()
 			return fmt.Errorf("comm: %d of %d mesh peers joined within %v", seen, len(t.addrs)-1, d)
 		}
@@ -180,6 +207,34 @@ func (t *TCPMesh) AwaitTimeout(d time.Duration) error {
 		return fmt.Errorf("comm: mesh place %d cannot reach place 0: %w", t.place, l.stickyErr())
 	case <-time.After(d):
 		return fmt.Errorf("comm: mesh place %d: no link to place 0 within %v", t.place, d)
+	}
+}
+
+// AwaitPeers waits until at least n distinct peers have completed an
+// inbound handshake, for clusters that assemble incrementally (late
+// joiners provisioned in addrs but not yet started). AwaitTimeout is
+// the full-assembly special case.
+func (t *TCPMesh) AwaitPeers(n int, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		t.mu.Lock()
+		seen := len(t.everSeen)
+		closed := t.closed
+		t.mu.Unlock()
+		if seen >= n {
+			return nil
+		}
+		if closed {
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("comm: %d of %d mesh peers joined within %v", seen, n, d)
+		}
+		select {
+		case <-t.stop:
+			return ErrClosed
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 }
 
@@ -213,20 +268,39 @@ func (t *TCPMesh) Send(m Message) error {
 		return &PlaceDownError{Place: m.To}
 	}
 	t.mu.Unlock()
-	if lossy(m.Kind) && t.inj.Drop(t.place, m.To) {
+	nowNS := time.Since(t.start).Nanoseconds()
+	if t.inj.Load().PartitionedAt(t.place, m.To, nowNS) {
+		// An active partition swallows every kind — that is what a
+		// network cut does. Reliable protocols recover through their
+		// own retry machinery once the partition heals.
+		if t.opts.Counters != nil {
+			t.opts.Counters.DroppedMessages.Add(1)
+		}
+		return nil
+	}
+	if lossy(m.Kind) && t.inj.Load().Drop(t.place, m.To) {
 		if t.opts.Counters != nil {
 			t.opts.Counters.DroppedMessages.Add(1)
 		}
 		return nil // lost in transit; the thief's timeout recovers
 	}
-	if ns := t.inj.SpikeNS(t.place, m.To); ns > 0 {
-		time.Sleep(time.Duration(ns))
+	delay := t.inj.Load().SpikeNS(t.place, m.To) + t.inj.Load().GrayNS(t.place, m.To, nowNS)
+	if delay > 0 {
+		time.Sleep(time.Duration(delay))
 	}
 	if t.opts.Counters != nil {
 		t.opts.Counters.Messages.Add(1)
 		t.opts.Counters.BytesTransferred.Add(int64(len(m.Payload)))
 	}
-	return t.link(m.To).enqueue(m)
+	l := t.link(m.To)
+	if t.inj.Load().Duplicate(t.place, m.To) {
+		if t.opts.Counters != nil {
+			t.opts.Counters.DuplicatedMessages.Add(1)
+			t.opts.Counters.Messages.Add(1)
+		}
+		_ = l.enqueue(m) // the receiver's idempotence absorbs the copy
+	}
+	return l.enqueue(m)
 }
 
 // Inbox implements Endpoint.
@@ -245,6 +319,7 @@ func (t *TCPMesh) Close() error {
 	in := t.in
 	t.in = map[int]net.Conn{}
 	t.mu.Unlock()
+	close(t.stop)
 	t.ln.Close()
 	for _, l := range links {
 		l.close()
@@ -252,6 +327,7 @@ func (t *TCPMesh) Close() error {
 	for _, c := range in {
 		c.Close()
 	}
+	t.senders.Wait()
 	close(t.inbox)
 	return nil
 }
@@ -275,10 +351,22 @@ func (t *TCPMesh) link(peer int) *meshLink {
 
 func (t *TCPMesh) deliverLocal(m Message) {
 	if m.Kind == KindSpawn {
-		t.rec.Record(t.place, 0, obs.KindArrive, -1, int32(m.From), 0)
+		t.rec.Load().Record(t.place, 0, obs.KindArrive, -1, int32(m.From), 0)
 	}
-	defer func() { recover() }() // inbox may close under us
-	t.inbox <- m
+	// Gate the send on the closed flag so Close can wait out in-flight
+	// senders before closing the inbox (close-vs-send is a data race).
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.senders.Add(1)
+	t.mu.Unlock()
+	defer t.senders.Done()
+	select {
+	case t.inbox <- m:
+	case <-t.stop: // shutdown with a full inbox; the message is moot
+	}
 }
 
 // linkDown evicts peer after a link failure: subsequent sends fail typed,
@@ -302,7 +390,7 @@ func (t *TCPMesh) linkDown(peer int) {
 	if c != nil {
 		c.Close()
 	}
-	t.rec.Record(t.place, 0, obs.KindCrash, -1, int32(peer), 0)
+	t.rec.Load().Record(t.place, 0, obs.KindCrash, -1, int32(peer), 0)
 	t.deliverLocal(Message{Kind: KindPlaceDown, From: peer, To: t.place})
 }
 
@@ -317,7 +405,12 @@ func (t *TCPMesh) acceptLoop() {
 }
 
 // handshake reads the dialer's hello and registers the inbound half of
-// the pair. Fail-stop: a peer marked down may not reconnect.
+// the pair. The hello's Seq carries the dialer's incarnation: a peer
+// marked down may reconnect only with a strictly higher incarnation
+// than the one that failed — that un-evicts it (the down mark clears
+// and the stale outbound link is discarded so the next send redials).
+// Hellos at the old incarnation are rejected, preserving fail-stop
+// semantics for the dead process itself.
 func (t *TCPMesh) handshake(tc *tcpConn) {
 	hello, err := tc.read()
 	if err != nil || hello.Kind != KindHello {
@@ -325,19 +418,41 @@ func (t *TCPMesh) handshake(tc *tcpConn) {
 		return
 	}
 	peer := hello.From
+	inc := uint32(hello.Seq)
+	if inc == 0 {
+		inc = 1
+	}
+	var staleLink *meshLink
 	t.mu.Lock()
 	if t.closed || peer < 0 || peer >= len(t.addrs) || peer == t.place ||
-		t.down[peer] || t.in[peer] != nil {
+		t.in[peer] != nil {
 		t.mu.Unlock()
 		tc.conn.Close()
 		return
 	}
+	if t.down[peer] {
+		if inc <= t.peerInc[peer] {
+			t.mu.Unlock()
+			tc.conn.Close()
+			return
+		}
+		delete(t.down, peer)
+		staleLink = t.links[peer]
+		delete(t.links, peer)
+	}
+	t.peerInc[peer] = inc
 	t.in[peer] = tc.conn
-	t.seen++
-	if t.seen == len(t.addrs)-1 {
-		close(t.joined)
+	if !t.everSeen[peer] {
+		t.everSeen[peer] = true
+		if len(t.everSeen) == len(t.addrs)-1 {
+			close(t.joined)
+		}
 	}
 	t.mu.Unlock()
+	if staleLink != nil {
+		staleLink.close()
+		t.rec.Load().Record(t.place, 0, obs.KindHeal, -1, int32(peer), 0)
+	}
 	t.readLoop(peer, tc)
 }
 
@@ -482,10 +597,18 @@ func (l *meshLink) ensureConn() bool {
 			if c := t.opts.Counters; c != nil {
 				c.Retries.Add(1)
 			}
-			time.Sleep(backoff)
+			// Sleeping out the full backoff schedule on a node that is
+			// shutting down would leak this flusher for seconds; abort
+			// promptly when Close fires instead.
+			select {
+			case <-t.stop:
+				l.fail(fmt.Errorf("comm: mesh closed during dial backoff to place %d", l.peer))
+				return false
+			case <-time.After(backoff):
+			}
 			backoff *= 2
 		}
-		if t.inj.Drop(t.place, l.peer) {
+		if t.inj.Load().Drop(t.place, l.peer) {
 			err = fmt.Errorf("comm: injected dial fault to place %d", l.peer)
 			if c := t.opts.Counters; c != nil {
 				c.DroppedMessages.Add(1)
@@ -501,7 +624,7 @@ func (l *meshLink) ensureConn() bool {
 		l.fail(err)
 		return false
 	}
-	hello := AppendFrame(nil, Message{Kind: KindHello, From: t.place, To: l.peer})
+	hello := AppendFrame(nil, Message{Kind: KindHello, From: t.place, To: l.peer, Seq: uint64(t.opts.Incarnation)})
 	if _, werr := conn.Write(hello); werr != nil {
 		conn.Close()
 		l.fail(werr)

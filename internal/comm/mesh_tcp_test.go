@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -277,5 +278,161 @@ func TestTCPMeshClose(t *testing.T) {
 	}
 	if _, open := <-nodes[0].Inbox(); open {
 		t.Fatalf("inbox should be closed")
+	}
+}
+
+// TestTCPMeshRejoinWithBumpedIncarnation exercises the un-eviction
+// path: a crashed place is marked down, a restart at the *same*
+// incarnation stays rejected (fail-stop semantics for the dead
+// process), and a restart with a bumped incarnation is readmitted —
+// the healed link is re-established, not left evicted.
+func TestTCPMeshRejoinWithBumpedIncarnation(t *testing.T) {
+	nodes := startTCPMesh(t, 3, nil)
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, 3)
+	for i, n := range nodes {
+		addrs[i] = n.Addr()
+	}
+
+	// Establish 0's outbound link to 2, then fail-stop place 2.
+	if err := nodes[0].Send(Message{Kind: KindData, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recvTimeout(t, nodes[2].Inbox())
+	nodes[2].Close()
+	if down := recvTimeout(t, nodes[0].Inbox()); down.Kind != KindPlaceDown || down.From != 2 {
+		t.Fatalf("expected place-down for 2, got %+v", down)
+	}
+
+	// A process restarted at the old incarnation must stay out.
+	stale, err := ListenMeshTCP(addrs, 2, MeshOptions{Incarnation: 1})
+	if err != nil {
+		t.Fatalf("stale restart: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond) // let its eager hello be rejected
+	if !nodes[0].Down(2) {
+		t.Fatalf("stale incarnation must not clear the down mark")
+	}
+	stale.Close()
+
+	// A bumped incarnation rejoins: down mark clears, traffic flows.
+	fresh, err := ListenMeshTCP(addrs, 2, MeshOptions{Incarnation: 2})
+	if err != nil {
+		t.Fatalf("rejoin restart: %v", err)
+	}
+	defer fresh.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].Down(2) {
+		if time.Now().After(deadline) {
+			t.Fatalf("place 2 still down after rejoin with bumped incarnation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := nodes[0].Send(Message{Kind: KindData, To: 2, Payload: []byte("wb")}); err != nil {
+		t.Fatalf("send after rejoin: %v", err)
+	}
+	if got := recvTimeout(t, fresh.Inbox()); string(got.Payload) != "wb" {
+		t.Fatalf("post-rejoin delivery %+v", got)
+	}
+}
+
+// TestTCPMeshDialBackoffAbortsOnClose is the context-aware-backoff
+// regression: a flusher stuck in a multi-second dial backoff must exit
+// promptly when the node closes, instead of sleeping out its schedule.
+func TestTCPMeshDialBackoffAbortsOnClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	lns[1].Close() // place 1 is a ghost: dials fail instantly
+	opts := MeshOptions{DialAttempts: 10, DialBackoff: 5 * time.Second, Listener: lns[0]}
+	n0, err := ListenMeshTCP(addrs, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n0.Send(Message{Kind: KindData, To: 1}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // flusher is now in its 5s backoff
+	n0.Close()
+	// Without the stop-channel select the flusher holds its goroutine for
+	// the remaining backoff (seconds); with it, everything unwinds fast.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still alive 2s after Close (baseline %d): dial backoff did not abort",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPMeshWindowedFaults drives the wall-clock side of the extended
+// fault vocabulary: an active partition swallows traffic until it
+// heals, gray failures add latency, and duplication delivers twice.
+func TestTCPMeshWindowedFaults(t *testing.T) {
+	var ctrs metrics.Counters
+	nodes := startTCPMesh(t, 2, func(int) MeshOptions { return MeshOptions{Counters: &ctrs} })
+	if err := nodes[0].AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	heal := 300 * time.Millisecond
+	nodes[0].InjectFaults(fault.NewInjector(&fault.Plan{
+		Partitions: []fault.Partition{{GroupA: []int{0}, AtNS: 1, HealNS: heal.Nanoseconds()}},
+	}))
+	if err := nodes[0].Send(Message{Kind: KindData, To: 1, Payload: []byte("cut")}); err != nil {
+		t.Fatalf("partitioned send must be silently swallowed, got %v", err)
+	}
+	select {
+	case m := <-nodes[1].Inbox():
+		t.Fatalf("message crossed an active partition: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := ctrs.Snapshot().DroppedMessages; got != 1 {
+		t.Fatalf("DroppedMessages = %d, want 1", got)
+	}
+	time.Sleep(heal) // wall clock passes the heal instant
+	if err := nodes[0].Send(Message{Kind: KindData, To: 1, Payload: []byte("healed")}); err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+	if got := recvTimeout(t, nodes[1].Inbox()); string(got.Payload) != "healed" {
+		t.Fatalf("post-heal delivery %+v", got)
+	}
+
+	// Gray failure: the send path absorbs the extra latency.
+	nodes[0].InjectFaults(fault.NewInjector(&fault.Plan{
+		Grays: []fault.Gray{{From: 0, To: 1, ExtraNS: (60 * time.Millisecond).Nanoseconds()}},
+	}))
+	start := time.Now()
+	if err := nodes[0].Send(Message{Kind: KindData, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("gray link send took %v, want >= ~60ms", elapsed)
+	}
+	recvTimeout(t, nodes[1].Inbox())
+
+	// Duplication: two copies arrive, the duplicate is counted.
+	nodes[0].InjectFaults(fault.NewInjector(&fault.Plan{DupProb: 1}))
+	if err := nodes[0].Send(Message{Kind: KindData, To: 1, Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := recvTimeout(t, nodes[1].Inbox()); got.Seq != 9 {
+			t.Fatalf("copy %d = %+v", i, got)
+		}
+	}
+	if got := ctrs.Snapshot().DuplicatedMessages; got != 1 {
+		t.Fatalf("DuplicatedMessages = %d, want 1", got)
 	}
 }

@@ -69,12 +69,14 @@ type Hub struct {
 	inj      *fault.Injector // nil-safe; set via InjectFaults
 	rec      *obs.Recorder   // nil-safe; set via SetRecorder
 
-	mu     sync.Mutex
-	conns  map[int]*tcpConn
-	down   map[int]bool // spokes evicted after a connection failure
-	closed bool
+	mu      sync.Mutex
+	conns   map[int]*tcpConn
+	down    map[int]bool // spokes evicted after a connection failure
+	closed  bool
+	senders sync.WaitGroup // in-flight deliverLocal sends; see Close
 
 	inbox chan Message
+	stop  chan struct{} // closed by Close; unblocks senders on a full inbox
 	ready chan struct{} // closed once all spokes have joined
 }
 
@@ -96,6 +98,7 @@ func ListenHub(addr string, places int, counters *metrics.Counters) (*Hub, error
 		conns:    make(map[int]*tcpConn),
 		down:     make(map[int]bool),
 		inbox:    make(chan Message, 1024),
+		stop:     make(chan struct{}),
 		ready:    make(chan struct{}),
 	}
 	go h.acceptLoop()
@@ -196,8 +199,20 @@ func (h *Hub) deliverLocal(m Message) {
 	if m.Kind == KindSpawn {
 		h.rec.Record(0, 0, obs.KindArrive, -1, int32(m.From), 0)
 	}
-	defer func() { recover() }() // inbox may close under us
-	h.inbox <- m
+	// Gate the send on the closed flag so Close can wait out in-flight
+	// senders before closing the inbox (close-vs-send is a data race).
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.senders.Add(1)
+	h.mu.Unlock()
+	defer h.senders.Done()
+	select {
+	case h.inbox <- m:
+	case <-h.stop: // shutdown with a full inbox; the message is moot
+	}
 }
 
 // evict removes a spoke whose connection failed, so later routes error
@@ -280,10 +295,12 @@ func (h *Hub) Close() error {
 	conns := h.conns
 	h.conns = map[int]*tcpConn{}
 	h.mu.Unlock()
+	close(h.stop)
 	h.ln.Close()
 	for _, tc := range conns {
 		tc.conn.Close()
 	}
+	h.senders.Wait()
 	close(h.inbox)
 	return nil
 }

@@ -96,6 +96,10 @@ type NodeConfig struct {
 	// zero values pick the defaults.
 	DialAttempts int
 	DialBackoff  time.Duration
+	// Incarnation is this process's membership incarnation, carried in
+	// the mesh handshake so a restarted place un-evicts its old links
+	// (see MeshOptions.Incarnation). Zero means 1.
+	Incarnation uint32
 }
 
 // Open builds the transport endpoint for cfg's seat in the cluster. The
@@ -127,6 +131,7 @@ func Open(cfg NodeConfig) (Node, error) {
 			Counters:     cfg.Counters,
 			DialAttempts: cfg.DialAttempts,
 			DialBackoff:  cfg.DialBackoff,
+			Incarnation:  cfg.Incarnation,
 		})
 	}
 	return nil, fmt.Errorf("comm: unknown transport %v", cfg.Transport)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,10 @@ type place struct {
 	// dead marks a fail-stopped place (fault injection): workers exit,
 	// thieves exclude it, and queued work is re-homed to survivors.
 	dead atomic.Bool
+	// draining marks a place departing gracefully (Runtime.DrainPlace):
+	// it refuses new steals and spawns re-home, but in-flight activities
+	// complete normally; once they have, the place flips to dead.
+	draining atomic.Bool
 	// executed counts activities completed here, for the fault plan's
 	// AfterTasks crash trigger.
 	executed atomic.Int64
@@ -56,6 +61,11 @@ type place struct {
 
 	rrWorker atomic.Uint32 // round-robin target for externally spawned tasks
 	wake     chan struct{}
+
+	// wg tracks this place's live worker goroutines so a heal/join can
+	// wait for a crashed generation to fully exit before restarting —
+	// worker structs (rng, deque) are reused across generations.
+	wg sync.WaitGroup
 }
 
 func newPlace(rt *Runtime, id int) *place {
@@ -88,7 +98,11 @@ func newPlace(rt *Runtime, id int) *place {
 func (p *place) startWorkers() {
 	for _, w := range p.workers {
 		p.rt.workerWG.Add(1)
-		go w.loop()
+		p.wg.Add(1)
+		go func(w *worker) {
+			defer p.wg.Done()
+			w.loop()
+		}(w)
 	}
 }
 
@@ -125,11 +139,14 @@ func (p *place) enqueue(a *activity, target sched.Target, spawner *worker) {
 		w.priv.Push(a)
 	}
 	p.wakeAll()
-	// A spawn racing the place's crash may land after the crash drain:
-	// crashPlace sets dead before draining, so re-checking here and
-	// re-draining guarantees the activity is not stranded.
+	// A spawn racing the place's crash or drain may land after the
+	// respective queue sweep: both paths set their flag before sweeping,
+	// so re-checking here and re-sweeping guarantees the activity is not
+	// stranded.
 	if p.dead.Load() {
 		p.rt.rescue(p)
+	} else if p.draining.Load() {
+		p.rt.offload(p)
 	}
 }
 
@@ -147,6 +164,8 @@ func (p *place) enqueueStolen(chunk []*activity) {
 	p.wakeAll()
 	if p.dead.Load() {
 		p.rt.rescue(p)
+	} else if p.draining.Load() {
+		p.rt.offload(p)
 	}
 }
 
@@ -175,7 +194,7 @@ func (p *place) serveLifelines() {
 		if !p.lifelineWaiters[q].Swap(false) {
 			continue
 		}
-		if p.rt.places[q].dead.Load() {
+		if p.rt.places[q].dead.Load() || p.rt.places[q].draining.Load() {
 			continue
 		}
 		if a, ok := p.shared.Poll(); ok {
@@ -261,8 +280,10 @@ const (
 func (w *worker) findWork() (*activity, stealKind) {
 	p := w.place
 	// A dead place schedules nothing: its queues were drained by the
-	// crash and survivors own the work now.
-	if p.dead.Load() {
+	// crash and survivors own the work now. A draining place starts
+	// nothing new — its queue was offloaded and only in-flight
+	// activities may finish.
+	if p.dead.Load() || p.draining.Load() {
 		return nil, tookOwn
 	}
 	// 1. Own private deque (line 9).
@@ -321,7 +342,7 @@ func (w *worker) stealRemote() *activity {
 	}
 	for _, v := range victims {
 		victim := rt.places[v]
-		if victim.dead.Load() {
+		if victim.dead.Load() || victim.draining.Load() {
 			continue
 		}
 		var probeStart time.Time
@@ -370,7 +391,11 @@ func (w *worker) probeVictim(victim *place, chunkSize int) []*activity {
 		rt.counters.RemoteProbes.Add(1)
 		rt.counters.Messages.Add(2) // steal-req + steal-resp
 		rt.record(w.place.id, w.local, obs.KindProbe, -1, int32(victim.id), 0)
-		if rt.inj.Drop(w.place.id, victim.id) || rt.inj.Drop(victim.id, w.place.id) {
+		now := rt.nowNS()
+		if rt.inj.PartitionedAt(w.place.id, victim.id, now) ||
+			rt.inj.Drop(w.place.id, victim.id) || rt.inj.Drop(victim.id, w.place.id) {
+			// Request or reply lost — to a link fault or an active
+			// partition window: the thief burns a timeout and retries.
 			rt.counters.DroppedMessages.Add(1)
 			rt.counters.StealTimeouts.Add(1)
 			rt.record(w.place.id, w.local, obs.KindTimeout, -1, int32(victim.id), 0)
@@ -379,13 +404,23 @@ func (w *worker) probeVictim(victim *place, chunkSize int) []*activity {
 			}
 			rt.counters.Retries.Add(1)
 			time.Sleep(backoffJitter(rt.cfg.StealTimeout, attempt, w.rng))
-			if victim.dead.Load() || rt.shutdown.Load() {
+			if victim.dead.Load() || victim.draining.Load() || rt.shutdown.Load() {
 				return nil
 			}
 			continue
 		}
-		if spike := rt.inj.SpikeNS(w.place.id, victim.id); spike > 0 {
-			time.Sleep(time.Duration(spike))
+		// Gray links degrade silently: both directions pay the injected
+		// extra latency on top of any spike.
+		delay := rt.inj.SpikeNS(w.place.id, victim.id) +
+			rt.inj.GrayNS(w.place.id, victim.id, now) + rt.inj.GrayNS(victim.id, w.place.id, now)
+		if delay > 0 {
+			time.Sleep(time.Duration(delay))
+		}
+		if rt.inj.Duplicate(victim.id, w.place.id) {
+			// The reply arrives twice; dedup absorbs the copy, but the
+			// extra message is real traffic.
+			rt.counters.Messages.Add(1)
+			rt.counters.DuplicatedMessages.Add(1)
 		}
 		return victim.shared.StealChunk(chunkSize)
 	}
@@ -413,7 +448,7 @@ func backoffJitter(base time.Duration, attempt int, rng *rand.Rand) time.Duratio
 func (w *worker) registerLifelines() {
 	rt := w.place.rt
 	for _, q := range sched.Lifelines(w.place.id, len(rt.places)) {
-		if rt.places[q].dead.Load() {
+		if rt.places[q].dead.Load() || rt.places[q].draining.Load() {
 			q = rt.down.NextAlive(q + 1)
 			if q < 0 || q == w.place.id {
 				continue

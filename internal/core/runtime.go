@@ -137,7 +137,32 @@ type Runtime struct {
 	stopCh   chan struct{}
 	workerWG sync.WaitGroup
 
+	// timers fire the fault plan's wall-clock churn schedule (joins,
+	// drains, flap down/up cycles); Shutdown stops any still pending.
+	timers []*time.Timer
+	// churnMu serializes worker restarts (join/heal) against Shutdown so
+	// workerWG.Add never races the final Wait.
+	churnMu sync.Mutex
+
 	started time.Time
+}
+
+// nowNS is the runtime's wall clock for time-windowed fault decisions,
+// measured from New — the same origin the sim's virtual clock uses from
+// its t=0, so one Plan drives both.
+func (rt *Runtime) nowNS() int64 { return time.Since(rt.started).Nanoseconds() }
+
+// sleepUntil blocks until the runtime clock reaches atNS or the runtime
+// shuts down; it reports whether the caller should proceed.
+func (rt *Runtime) sleepUntil(atNS int64) bool {
+	if d := time.Duration(atNS) - time.Since(rt.started); d > 0 {
+		select {
+		case <-rt.stopCh:
+			return false
+		case <-time.After(d):
+		}
+	}
+	return !rt.shutdown.Load()
 }
 
 // New starts a runtime: all worker goroutines are live on return.
@@ -178,8 +203,55 @@ func New(cfg Config) (*Runtime, error) {
 	for p := range rt.places {
 		rt.places[p] = newPlace(rt, p)
 	}
+	// Late joiners from the fault plan start absent: no workers, excluded
+	// from homing and victim sweeps until their join instant.
+	joining := make(map[int]bool)
+	if cfg.Fault != nil {
+		for _, j := range cfg.Fault.Joins {
+			joining[j.Place] = true
+			rt.places[j.Place].dead.Store(true)
+			rt.down.MarkDown(j.Place)
+		}
+	}
 	for _, p := range rt.places {
-		p.startWorkers()
+		if !joining[p.id] {
+			p.startWorkers()
+		}
+	}
+	if cfg.Fault != nil {
+		for _, j := range cfg.Fault.Joins {
+			p := rt.places[j.Place]
+			rt.timers = append(rt.timers, time.AfterFunc(time.Duration(j.AtNS), func() {
+				rt.joinPlace(p)
+			}))
+		}
+		for _, d := range cfg.Fault.Drains {
+			p := d.Place
+			rt.timers = append(rt.timers, time.AfterFunc(time.Duration(d.AtNS), func() {
+				_ = rt.DrainPlace(p)
+			}))
+		}
+		for _, fl := range cfg.Fault.Flaps {
+			// One goroutine walks the whole down/up schedule so a late
+			// down edge can never land after its own heal (independent
+			// timers offer no ordering guarantee).
+			p := rt.places[fl.Place]
+			fl := fl
+			go func() {
+				period := fl.DownNS + fl.UpNS
+				for i := 0; i < fl.Cycles; i++ {
+					at := fl.AtNS + int64(i)*period
+					if !rt.sleepUntil(at) {
+						return
+					}
+					rt.crashPlace(p)
+					if !rt.sleepUntil(at + fl.DownNS) {
+						return
+					}
+					rt.healPlace(p)
+				}
+			}()
+		}
 	}
 	return rt, nil
 }
@@ -220,8 +292,14 @@ func (rt *Runtime) Shutdown() { _ = rt.ShutdownContext(context.Background()) }
 // still winding down — they keep exiting in the background and a later
 // call waits for the remainder. Idempotent.
 func (rt *Runtime) ShutdownContext(ctx context.Context) error {
-	if !rt.shutdown.Swap(true) {
+	rt.churnMu.Lock()
+	first := !rt.shutdown.Swap(true)
+	rt.churnMu.Unlock()
+	if first {
 		close(rt.stopCh)
+		for _, t := range rt.timers {
+			t.Stop()
+		}
 		for _, p := range rt.places {
 			p.wakeAll()
 		}
@@ -291,7 +369,7 @@ func (rt *Runtime) RunContext(ctx context.Context, body func(*Ctx)) error {
 // is re-homed to the next surviving place.
 func (rt *Runtime) spawn(a *activity, from int, spawner *worker) {
 	rt.counters.TasksSpawned.Add(1)
-	if rt.places[a.home].dead.Load() {
+	if rt.places[a.home].dead.Load() || rt.places[a.home].draining.Load() {
 		a.home = rt.down.NextAlive(a.home)
 	}
 	home := rt.places[a.home]
@@ -340,7 +418,13 @@ func (rt *Runtime) crashPlace(p *place) {
 // rescue drains everything queued at the dead place p and re-enqueues it
 // at survivors. Idempotent: deque operations hand out each activity at
 // most once, so concurrent rescuers cannot duplicate work.
-func (rt *Runtime) rescue(p *place) {
+func (rt *Runtime) rescue(p *place) { rt.rehomeQueued(p, true) }
+
+// offload is rescue's graceful twin: the moved activities never started,
+// so they count as offloaded rather than re-executed.
+func (rt *Runtime) offload(p *place) { rt.rehomeQueued(p, false) }
+
+func (rt *Runtime) rehomeQueued(p *place, reexec bool) {
 	var orphans []*activity
 	for {
 		a, ok := p.shared.Poll()
@@ -363,7 +447,11 @@ func (rt *Runtime) rescue(p *place) {
 	}
 	p.queued.Add(-int32(len(orphans)))
 	for i, a := range orphans {
-		rt.counters.TasksReExecuted.Add(1)
+		if reexec {
+			rt.counters.TasksReExecuted.Add(1)
+		} else {
+			rt.counters.TasksOffloaded.Add(1)
+		}
 		// Recovery ships the task once to its new home.
 		rt.counters.Messages.Add(1)
 		rt.counters.BytesTransferred.Add(int64(a.loc.MigrationBytes))
@@ -372,6 +460,99 @@ func (rt *Runtime) rescue(p *place) {
 		target := sched.MapTask(rt.cfg.Policy, rt.mapClass(a), home.load(), home.nextSeq())
 		home.enqueue(a, target, nil)
 	}
+}
+
+// joinPlace brings an absent (late-joining) place into the cluster: its
+// workers start and acquire work by stealing, and spawns may be homed
+// there from now on.
+func (rt *Runtime) joinPlace(p *place) {
+	rt.churnMu.Lock()
+	defer rt.churnMu.Unlock()
+	if rt.shutdown.Load() || !p.dead.Load() {
+		return
+	}
+	p.wg.Wait() // let any previous worker generation exit fully
+	rt.down.Revive(p.id)
+	p.draining.Store(false)
+	p.dead.Store(false)
+	rt.counters.MembershipJoins.Add(1)
+	rt.record(p.id, 0, obs.KindJoin, -1, 1, 0)
+	p.startWorkers()
+}
+
+// healPlace recovers a flapped place: the outage was a crash (queued work
+// was re-homed and re-executed), but the place rejoins with fresh workers
+// instead of staying evicted, and steals its way back in.
+func (rt *Runtime) healPlace(p *place) {
+	rt.churnMu.Lock()
+	defer rt.churnMu.Unlock()
+	if rt.shutdown.Load() || !p.dead.Load() {
+		return
+	}
+	p.wg.Wait() // let the crashed worker generation exit fully
+	rt.down.Revive(p.id)
+	p.draining.Store(false)
+	p.dead.Store(false)
+	rt.counters.MembershipRejoins.Add(1)
+	rt.record(p.id, 0, obs.KindHeal, -1, int32(p.id), 0)
+	p.startWorkers()
+}
+
+// DrainPlace gracefully removes place p from the runtime: the place stops
+// accepting new work (spawns re-home, thieves exclude it), its
+// queued-but-unstarted activities are offloaded to survivors (counted as
+// TasksOffloaded — nothing is re-executed), and the call blocks until the
+// activities already running there have finished, at which point the
+// place's workers exit. Draining the last available place is refused.
+func (rt *Runtime) DrainPlace(pid int) error {
+	if rt.shutdown.Load() {
+		return ErrShutdown
+	}
+	if pid < 0 || pid >= len(rt.places) {
+		return fmt.Errorf("core: DrainPlace(%d) of %d places", pid, len(rt.places))
+	}
+	alive := 0
+	for _, q := range rt.places {
+		if !q.dead.Load() && !q.draining.Load() {
+			alive++
+		}
+	}
+	p := rt.places[pid]
+	if p.dead.Load() {
+		return fmt.Errorf("core: place %d is down", pid)
+	}
+	if p.draining.Swap(true) {
+		return nil // already draining
+	}
+	if alive <= 1 {
+		p.draining.Store(false)
+		return fmt.Errorf("core: cannot drain place %d: no other place available", pid)
+	}
+	// From here on spawns and steals avoid p; mark it down for re-homing
+	// (NextAlive skips it) before moving its queue so no activity bounces
+	// back.
+	rt.down.MarkDown(pid)
+	rt.counters.MembershipDrains.Add(1)
+	rt.record(pid, 0, obs.KindDrain, -1, int32(p.queued.Load()), 0)
+	rt.offload(p)
+	// Wait for in-flight activities to finish, then release the workers.
+	// Two consecutive idle observations close the window where a worker
+	// has dequeued an activity but not yet marked itself running.
+	for idle := 0; idle < 2; {
+		if rt.shutdown.Load() {
+			return ErrShutdown
+		}
+		if p.running.Load() == 0 && p.queued.Load() == 0 {
+			idle++
+		} else {
+			idle = 0
+			rt.offload(p) // a racing spawn may have slipped in
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.dead.Store(true)
+	p.wakeAll()
+	return nil
 }
 
 // placeLoad exposes load introspection to white-box tests.

@@ -47,6 +47,80 @@ type Link struct {
 	SpikeNS int64
 }
 
+// Partition splits the cluster into two sides for a time window:
+// messages crossing the cut are silently lost while the window is
+// active, then flow again after it heals. Time is interpreted in the
+// consumer's clock — virtual nanoseconds in the simulator, wall
+// nanoseconds since run start in the goroutine/TCP runtime — so the
+// same plan describes the same schedule in both.
+type Partition struct {
+	// GroupA lists the places on one side of the cut; every other place
+	// forms the other side.
+	GroupA []int
+	// AtNS is when the partition takes effect (must be > 0).
+	AtNS int64
+	// HealNS is when the partition heals. Zero means it never heals.
+	HealNS int64
+}
+
+// Gray is a gray failure: a persistent latency degradation on a link
+// set, active for a time window. From/To of -1 match any place, like
+// Link.
+type Gray struct {
+	From, To int
+	// ExtraNS is the added one-way latency in nanoseconds.
+	ExtraNS int64
+	// AtNS/UntilNS bound the active window. AtNS <= 0 means "from the
+	// start"; UntilNS <= 0 means "until the end of the run".
+	AtNS    int64
+	UntilNS int64
+}
+
+// Flap schedules crash/recover cycles for one place: down for DownNS,
+// up for UpNS, repeated Cycles times starting at AtNS.
+type Flap struct {
+	Place int
+	// AtNS is the first failure instant (must be > 0).
+	AtNS int64
+	// DownNS is how long each outage lasts (must be > 0).
+	DownNS int64
+	// UpNS is how long the place stays recovered between outages.
+	UpNS int64
+	// Cycles is the number of outages (must be >= 1).
+	Cycles int
+}
+
+// DownAt reports whether the flapping place is inside one of its
+// scheduled outages at nowNS.
+func (f Flap) DownAt(nowNS int64) bool {
+	if nowNS < f.AtNS {
+		return false
+	}
+	period := f.DownNS + f.UpNS
+	for i := 0; i < f.Cycles; i++ {
+		start := f.AtNS + int64(i)*period
+		if nowNS >= start && nowNS < start+f.DownNS {
+			return true
+		}
+	}
+	return false
+}
+
+// Join schedules a place to be absent at startup and join the cluster
+// at AtNS.
+type Join struct {
+	Place int
+	AtNS  int64
+}
+
+// Drain schedules a graceful departure: at AtNS the place refuses new
+// steals, offloads its queued work to survivors, finishes its running
+// tasks, and leaves without triggering crash recovery.
+type Drain struct {
+	Place int
+	AtNS  int64
+}
+
 // Plan is a complete declarative fault schedule for one run. The zero
 // value (and a nil *Plan) is the fault-free plan.
 type Plan struct {
@@ -63,6 +137,22 @@ type Plan struct {
 	SpikeNS   int64
 	// Links overrides the cluster-wide probabilities per directed link.
 	Links []Link
+
+	// DupProb is the probability in [0,1] that a message is delivered
+	// twice. Duplicates are absorbed by the receivers' idempotence
+	// (batch-id dedup, steal-chunk accounting) and surface only in the
+	// DuplicatedMessages counter.
+	DupProb float64
+	// Partitions lists timed network splits.
+	Partitions []Partition
+	// Grays lists persistent latency degradations.
+	Grays []Gray
+	// Flaps lists crash/recover cycles.
+	Flaps []Flap
+	// Joins lists places that start absent and join at runtime.
+	Joins []Join
+	// Drains lists places that depart gracefully at runtime.
+	Drains []Drain
 }
 
 // Validate checks the plan against a cluster of places places: crash
@@ -98,6 +188,81 @@ func (p *Plan) Validate(places int) error {
 		if err := checkProb("link SpikeProb", l.SpikeProb); err != nil {
 			return err
 		}
+	}
+	if err := checkProb("DupProb", p.DupProb); err != nil {
+		return err
+	}
+	for _, part := range p.Partitions {
+		if len(part.GroupA) == 0 || len(part.GroupA) >= places {
+			return fmt.Errorf("fault: partition GroupA has %d places, want 1..%d", len(part.GroupA), places-1)
+		}
+		for _, m := range part.GroupA {
+			if m < 0 || m >= places {
+				return fmt.Errorf("fault: partition of invalid place %d (have %d places)", m, places)
+			}
+		}
+		if part.AtNS <= 0 {
+			return fmt.Errorf("fault: partition AtNS = %d, want > 0", part.AtNS)
+		}
+		if part.HealNS != 0 && part.HealNS <= part.AtNS {
+			return fmt.Errorf("fault: partition HealNS = %d, want > AtNS (%d) or 0", part.HealNS, part.AtNS)
+		}
+	}
+	for _, g := range p.Grays {
+		if g.From < -1 || g.From >= places || g.To < -1 || g.To >= places {
+			return fmt.Errorf("fault: gray link %d→%d out of range (have %d places)", g.From, g.To, places)
+		}
+		if g.ExtraNS <= 0 {
+			return fmt.Errorf("fault: gray ExtraNS = %d, want > 0", g.ExtraNS)
+		}
+		if g.UntilNS > 0 && g.UntilNS <= g.AtNS {
+			return fmt.Errorf("fault: gray UntilNS = %d, want > AtNS (%d) or 0", g.UntilNS, g.AtNS)
+		}
+	}
+	flapped := make(map[int]bool)
+	for _, f := range p.Flaps {
+		if f.Place < 0 || f.Place >= places {
+			return fmt.Errorf("fault: flap of invalid place %d (have %d places)", f.Place, places)
+		}
+		if f.AtNS <= 0 || f.DownNS <= 0 || f.Cycles < 1 {
+			return fmt.Errorf("fault: flap of place %d needs AtNS > 0, DownNS > 0, Cycles >= 1", f.Place)
+		}
+		if f.Cycles > 1 && f.UpNS <= 0 {
+			return fmt.Errorf("fault: flap of place %d has %d cycles but UpNS <= 0", f.Place, f.Cycles)
+		}
+		flapped[f.Place] = true
+	}
+	joined := make(map[int]bool)
+	for _, j := range p.Joins {
+		if j.Place < 0 || j.Place >= places {
+			return fmt.Errorf("fault: join of invalid place %d (have %d places)", j.Place, places)
+		}
+		if j.AtNS <= 0 {
+			return fmt.Errorf("fault: join of place %d needs AtNS > 0", j.Place)
+		}
+		if joined[j.Place] {
+			return fmt.Errorf("fault: place %d joins twice", j.Place)
+		}
+		joined[j.Place] = true
+	}
+	if len(joined) >= places {
+		return fmt.Errorf("fault: every place joins late; at least one must be present at start")
+	}
+	gone := make(map[int]bool, len(crashed))
+	for pl := range crashed {
+		gone[pl] = true
+	}
+	for _, d := range p.Drains {
+		if d.Place < 0 || d.Place >= places {
+			return fmt.Errorf("fault: drain of invalid place %d (have %d places)", d.Place, places)
+		}
+		if d.AtNS <= 0 {
+			return fmt.Errorf("fault: drain of place %d needs AtNS > 0", d.Place)
+		}
+		gone[d.Place] = true
+	}
+	if len(gone) >= places {
+		return fmt.Errorf("fault: plan crashes or drains all %d places; at least one must survive", places)
 	}
 	return nil
 }
@@ -210,6 +375,78 @@ func (in *Injector) CrashAfterTasks(place int) (int64, bool) {
 	return c.AfterTasks, true
 }
 
+// PartitionedAt reports whether a message from→to at nowNS crosses an
+// active partition cut. The decision is a pure function of the link and
+// the time, so the simulator (virtual clock) gets an exact schedule and
+// the real runtime (wall clock) a faithful one.
+func (in *Injector) PartitionedAt(from, to int, nowNS int64) bool {
+	if in == nil || from == to {
+		return false
+	}
+	for _, part := range in.plan.Partitions {
+		if nowNS < part.AtNS || (part.HealNS > 0 && nowNS >= part.HealNS) {
+			continue
+		}
+		if inGroup(part.GroupA, from) != inGroup(part.GroupA, to) {
+			return true
+		}
+	}
+	return false
+}
+
+func inGroup(group []int, place int) bool {
+	for _, m := range group {
+		if m == place {
+			return true
+		}
+	}
+	return false
+}
+
+// GrayNS returns the extra one-way latency a message from→to suffers at
+// nowNS from active gray failures (zero when none match).
+func (in *Injector) GrayNS(from, to int, nowNS int64) int64 {
+	if in == nil {
+		return 0
+	}
+	var extra int64
+	for _, g := range in.plan.Grays {
+		if g.From != -1 && g.From != from {
+			continue
+		}
+		if g.To != -1 && g.To != to {
+			continue
+		}
+		if nowNS < g.AtNS || (g.UntilNS > 0 && nowNS >= g.UntilNS) {
+			continue
+		}
+		extra += g.ExtraNS
+	}
+	return extra
+}
+
+// FlapDownAt reports whether place is inside a scheduled flap outage at
+// nowNS.
+func (in *Injector) FlapDownAt(place int, nowNS int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, f := range in.plan.Flaps {
+		if f.Place == place && f.DownAt(nowNS) {
+			return true
+		}
+	}
+	return false
+}
+
+// Duplicate decides whether the next message from→to is delivered twice.
+func (in *Injector) Duplicate(from, to int) bool {
+	if in == nil || in.plan.DupProb <= 0 {
+		return false
+	}
+	return in.roll(from, to) < in.plan.DupProb
+}
+
 // roll draws a deterministic uniform in [0,1) for the next decision on
 // the from→to link: a stateless hash of the seed, the link, and a global
 // decision counter.
@@ -257,6 +494,20 @@ func (d *DownSet) MarkDown(place int) bool {
 		return false
 	}
 	d.n.Add(1)
+	return true
+}
+
+// Revive clears a down mark, readmitting a healed or rejoined place to
+// victim selection and re-homing. It reports whether the place was
+// actually down.
+func (d *DownSet) Revive(place int) bool {
+	if place < 0 || place >= len(d.down) {
+		return false
+	}
+	if !d.down[place].Swap(false) {
+		return false
+	}
+	d.n.Add(-1)
 	return true
 }
 

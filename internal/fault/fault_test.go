@@ -35,6 +35,27 @@ func TestValidate(t *testing.T) {
 		{"all places crash", Plan{Crashes: []Crash{{Place: 0}, {Place: 1}, {Place: 2}, {Place: 3}}}, false},
 		{"bad drop prob", Plan{DropProb: 1.5}, false},
 		{"bad link prob", Plan{Links: []Link{{From: -1, To: -1, DropProb: -0.1}}}, false},
+		{"good partition", Plan{Partitions: []Partition{{GroupA: []int{0, 1}, AtNS: 10, HealNS: 20}}}, true},
+		{"partition never heals", Plan{Partitions: []Partition{{GroupA: []int{3}, AtNS: 10}}}, true},
+		{"partition covers cluster", Plan{Partitions: []Partition{{GroupA: []int{0, 1, 2, 3}, AtNS: 10}}}, false},
+		{"partition heals before split", Plan{Partitions: []Partition{{GroupA: []int{0}, AtNS: 10, HealNS: 5}}}, false},
+		{"partition bad place", Plan{Partitions: []Partition{{GroupA: []int{7}, AtNS: 10}}}, false},
+		{"good gray", Plan{Grays: []Gray{{From: 0, To: -1, ExtraNS: 100}}}, true},
+		{"gray zero latency", Plan{Grays: []Gray{{From: 0, To: 1}}}, false},
+		{"gray inverted window", Plan{Grays: []Gray{{From: 0, To: 1, ExtraNS: 5, AtNS: 10, UntilNS: 5}}}, false},
+		{"good flap", Plan{Flaps: []Flap{{Place: 1, AtNS: 10, DownNS: 5, UpNS: 5, Cycles: 2}}}, true},
+		{"flap no up between cycles", Plan{Flaps: []Flap{{Place: 1, AtNS: 10, DownNS: 5, Cycles: 2}}}, false},
+		{"flap no trigger", Plan{Flaps: []Flap{{Place: 1}}}, false},
+		{"good join", Plan{Joins: []Join{{Place: 2, AtNS: 50}}}, true},
+		{"join twice", Plan{Joins: []Join{{Place: 2, AtNS: 50}, {Place: 2, AtNS: 60}}}, false},
+		{"everyone joins late", Plan{Joins: []Join{{Place: 0, AtNS: 1}, {Place: 1, AtNS: 1}, {Place: 2, AtNS: 1}, {Place: 3, AtNS: 1}}}, false},
+		{"good drain", Plan{Drains: []Drain{{Place: 1, AtNS: 50}}}, true},
+		{"drain no trigger", Plan{Drains: []Drain{{Place: 1}}}, false},
+		{"crash+drain leaves none", Plan{
+			Crashes: []Crash{{Place: 0, AtVirtualNS: 5}, {Place: 1, AtVirtualNS: 5}},
+			Drains:  []Drain{{Place: 2, AtNS: 9}, {Place: 3, AtNS: 9}},
+		}, false},
+		{"bad dup prob", Plan{DupProb: 2}, false},
 	}
 	for _, c := range cases {
 		err := c.plan.Validate(4)
@@ -159,5 +180,140 @@ func TestDownSet(t *testing.T) {
 	// Out-of-range queries are harmless.
 	if d.Down(99) || d.MarkDown(99) {
 		t.Fatalf("out-of-range place should not be markable")
+	}
+}
+
+// TestNextAliveTotalLoss is the satellite regression: once every place
+// is down, NextAlive must return the -1 sentinel (never spin), and a
+// Revive must make the place reachable again.
+func TestNextAliveTotalLoss(t *testing.T) {
+	d := NewDownSet(3)
+	for p := 0; p < 3; p++ {
+		d.MarkDown(p)
+	}
+	for from := -2; from < 5; from++ {
+		if got := d.NextAlive(from); got != -1 {
+			t.Fatalf("NextAlive(%d) with all down = %d, want -1", from, got)
+		}
+	}
+	if !d.Revive(1) {
+		t.Fatalf("Revive(1) of a down place should report true")
+	}
+	if d.Revive(1) {
+		t.Fatalf("second Revive(1) should report false")
+	}
+	if d.Count() != 2 || d.Down(1) {
+		t.Fatalf("after revive: Count=%d Down(1)=%v", d.Count(), d.Down(1))
+	}
+	if got := d.NextAlive(2); got != 1 {
+		t.Fatalf("NextAlive(2) after revive = %d, want 1", got)
+	}
+	if d.Revive(99) {
+		t.Fatalf("out-of-range revive should be a no-op")
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	in := NewInjector(&Plan{Partitions: []Partition{{GroupA: []int{0, 1}, AtNS: 100, HealNS: 200}}})
+	if in.PartitionedAt(0, 2, 50) {
+		t.Fatalf("partition active before AtNS")
+	}
+	if !in.PartitionedAt(0, 2, 100) || !in.PartitionedAt(2, 0, 150) {
+		t.Fatalf("cross-cut message delivered during partition")
+	}
+	if in.PartitionedAt(0, 1, 150) || in.PartitionedAt(2, 3, 150) {
+		t.Fatalf("same-side message cut")
+	}
+	if in.PartitionedAt(0, 2, 200) {
+		t.Fatalf("partition active after heal")
+	}
+	if in.PartitionedAt(0, 0, 150) {
+		t.Fatalf("self-send partitioned")
+	}
+	forever := NewInjector(&Plan{Partitions: []Partition{{GroupA: []int{0}, AtNS: 10}}})
+	if !forever.PartitionedAt(0, 3, 1<<40) {
+		t.Fatalf("HealNS=0 partition should never heal")
+	}
+	var nilInj *Injector
+	if nilInj.PartitionedAt(0, 1, 50) {
+		t.Fatalf("nil injector partitioned")
+	}
+}
+
+func TestGrayWindow(t *testing.T) {
+	in := NewInjector(&Plan{Grays: []Gray{
+		{From: 0, To: 1, ExtraNS: 100},
+		{From: 0, To: -1, ExtraNS: 30, AtNS: 50, UntilNS: 150},
+	}})
+	if got := in.GrayNS(0, 1, 10); got != 100 {
+		t.Fatalf("GrayNS(0,1,10) = %d, want 100 (window-less gray always active)", got)
+	}
+	if got := in.GrayNS(0, 1, 60); got != 130 {
+		t.Fatalf("GrayNS(0,1,60) = %d, want 130 (both grays stack)", got)
+	}
+	if got := in.GrayNS(0, 2, 60); got != 30 {
+		t.Fatalf("GrayNS(0,2,60) = %d, want 30 (wildcard To)", got)
+	}
+	if got := in.GrayNS(0, 2, 150); got != 0 {
+		t.Fatalf("GrayNS(0,2,150) = %d, want 0 after UntilNS", got)
+	}
+	if got := in.GrayNS(1, 0, 60); got != 0 {
+		t.Fatalf("GrayNS(1,0,60) = %d, want 0 (no matching link)", got)
+	}
+	var nilInj *Injector
+	if nilInj.GrayNS(0, 1, 60) != 0 {
+		t.Fatalf("nil injector grayed")
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	f := Flap{Place: 2, AtNS: 100, DownNS: 50, UpNS: 30, Cycles: 2}
+	cases := []struct {
+		now  int64
+		down bool
+	}{
+		{0, false}, {99, false},
+		{100, true}, {149, true}, // first outage [100,150)
+		{150, false}, {179, false}, // recovered [150,180)
+		{180, true}, {229, true}, // second outage [180,230)
+		{230, false}, {1 << 40, false}, // cycles exhausted
+	}
+	in := NewInjector(&Plan{Flaps: []Flap{f}})
+	for _, c := range cases {
+		if got := f.DownAt(c.now); got != c.down {
+			t.Errorf("DownAt(%d) = %v, want %v", c.now, got, c.down)
+		}
+		if got := in.FlapDownAt(2, c.now); got != c.down {
+			t.Errorf("FlapDownAt(2,%d) = %v, want %v", c.now, got, c.down)
+		}
+		if in.FlapDownAt(1, c.now) {
+			t.Errorf("place 1 never flaps")
+		}
+	}
+	var nilInj *Injector
+	if nilInj.FlapDownAt(2, 120) {
+		t.Fatalf("nil injector flapped")
+	}
+}
+
+func TestDuplicateDeterminism(t *testing.T) {
+	a := NewInjector(&Plan{Seed: 11, DupProb: 0.5})
+	b := NewInjector(&Plan{Seed: 11, DupProb: 0.5})
+	dups := 0
+	for i := 0; i < 1000; i++ {
+		da, db := a.Duplicate(0, 1), b.Duplicate(0, 1)
+		if da != db {
+			t.Fatalf("decision %d diverged", i)
+		}
+		if da {
+			dups++
+		}
+	}
+	if dups < 350 || dups > 650 {
+		t.Fatalf("duplicated %d of 1000 at p=0.5", dups)
+	}
+	var nilInj *Injector
+	if nilInj.Duplicate(0, 1) {
+		t.Fatalf("nil injector duplicated")
 	}
 }

@@ -34,6 +34,12 @@ var expoFields = []struct {
 	{"distws_tasks_reexecuted_total", "Tasks re-enqueued after a place failure.", func(s Snapshot) int64 { return s.TasksReExecuted }},
 	{"distws_backpressure_total", "Sends that found a full inbox or link queue.", func(s Snapshot) int64 { return s.Backpressure }},
 	{"distws_reclassifications_total", "Online task-kind classification flips (adaptive policy).", func(s Snapshot) int64 { return s.Reclassifications }},
+	{"distws_membership_joins_total", "Places that joined the cluster at runtime.", func(s Snapshot) int64 { return s.MembershipJoins }},
+	{"distws_membership_drains_total", "Places that departed via graceful drain.", func(s Snapshot) int64 { return s.MembershipDrains }},
+	{"distws_membership_rejoins_total", "Down places readmitted with a bumped incarnation.", func(s Snapshot) int64 { return s.MembershipRejoins }},
+	{"distws_heartbeat_misses_total", "Alive-to-suspect transitions by the failure detector.", func(s Snapshot) int64 { return s.HeartbeatMisses }},
+	{"distws_tasks_offloaded_total", "Queued tasks handed to survivors by a draining place.", func(s Snapshot) int64 { return s.TasksOffloaded }},
+	{"distws_duplicated_messages_total", "Messages duplicated by injected link faults.", func(s Snapshot) int64 { return s.DuplicatedMessages }},
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition

@@ -43,6 +43,12 @@ func TestPrometheusGolden(t *testing.T) {
 		"distws_tasks_reexecuted_total",
 		"distws_backpressure_total",
 		"distws_reclassifications_total",
+		"distws_membership_joins_total",
+		"distws_membership_drains_total",
+		"distws_membership_rejoins_total",
+		"distws_heartbeat_misses_total",
+		"distws_tasks_offloaded_total",
+		"distws_duplicated_messages_total",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("exposition has %d samples, want %d:\n%v", len(names), len(want), names)

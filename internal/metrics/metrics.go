@@ -51,6 +51,16 @@ type Counters struct {
 	// the adapt controller (the `adaptive` policy). Zero under every
 	// annotated policy.
 	Reclassifications atomic.Int64
+
+	// Membership counters (internal/member): dynamic-membership events
+	// must be observable, both for the churn chaos harness's assertions
+	// and for operators of a long-lived daemon cluster.
+	MembershipJoins    atomic.Int64 // places that joined at runtime
+	MembershipDrains   atomic.Int64 // places that departed via graceful drain
+	MembershipRejoins  atomic.Int64 // down places readmitted with a bumped incarnation
+	HeartbeatMisses    atomic.Int64 // alive→suspect transitions by the failure detector
+	TasksOffloaded     atomic.Int64 // queued tasks handed to survivors by a draining place
+	DuplicatedMessages atomic.Int64 // messages duplicated by injected link faults
 }
 
 // Snapshot is an immutable copy of a Counters at one instant.
@@ -74,6 +84,13 @@ type Snapshot struct {
 	TasksReExecuted   int64
 	Backpressure      int64
 	Reclassifications int64
+
+	MembershipJoins    int64
+	MembershipDrains   int64
+	MembershipRejoins  int64
+	HeartbeatMisses    int64
+	TasksOffloaded     int64
+	DuplicatedMessages int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the counters.
@@ -100,6 +117,13 @@ func (c *Counters) Snapshot() Snapshot {
 		TasksReExecuted:   c.TasksReExecuted.Load(),
 		Backpressure:      c.Backpressure.Load(),
 		Reclassifications: c.Reclassifications.Load(),
+
+		MembershipJoins:    c.MembershipJoins.Load(),
+		MembershipDrains:   c.MembershipDrains.Load(),
+		MembershipRejoins:  c.MembershipRejoins.Load(),
+		HeartbeatMisses:    c.HeartbeatMisses.Load(),
+		TasksOffloaded:     c.TasksOffloaded.Load(),
+		DuplicatedMessages: c.DuplicatedMessages.Load(),
 	}
 }
 
@@ -138,13 +162,21 @@ func (s Snapshot) String() string {
 	if s.Backpressure > 0 {
 		base += fmt.Sprintf(" backpressure=%d", s.Backpressure)
 	}
+	if s.MembershipJoins > 0 || s.MembershipDrains > 0 || s.MembershipRejoins > 0 ||
+		s.HeartbeatMisses > 0 || s.TasksOffloaded > 0 {
+		base += fmt.Sprintf(
+			" membership(joins=%d drains=%d rejoins=%d hbMisses=%d offloaded=%d)",
+			s.MembershipJoins, s.MembershipDrains, s.MembershipRejoins,
+			s.HeartbeatMisses, s.TasksOffloaded)
+	}
 	if s.StealTimeouts == 0 && s.Retries == 0 && s.DroppedMessages == 0 &&
-		s.PlacesLost == 0 && s.TasksReExecuted == 0 {
+		s.PlacesLost == 0 && s.TasksReExecuted == 0 && s.DuplicatedMessages == 0 {
 		return base
 	}
 	return base + fmt.Sprintf(
-		" faults(timeouts=%d retries=%d dropped=%d placesLost=%d reExecuted=%d)",
-		s.StealTimeouts, s.Retries, s.DroppedMessages, s.PlacesLost, s.TasksReExecuted)
+		" faults(timeouts=%d retries=%d dropped=%d duplicated=%d placesLost=%d reExecuted=%d)",
+		s.StealTimeouts, s.Retries, s.DroppedMessages, s.DuplicatedMessages,
+		s.PlacesLost, s.TasksReExecuted)
 }
 
 // Utilization tracks per-place busy time against a common total, yielding

@@ -1,0 +1,334 @@
+// Churn tests for the batch protocol: graceful drain with offloaded
+// (never re-executed) batches, runtime join of an absent place, the
+// heartbeat failure detector catching a gray failure the transport
+// cannot see, the typed no-survivors error, and retries racing the
+// concurrent loss of several places.
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distws/internal/comm"
+	"distws/internal/metrics"
+	"distws/internal/task"
+)
+
+// churnHub builds a hub with n-1 connected spokes and a registry with
+// one echo task, returning everything the churn tests share.
+func churnHub(t *testing.T, places int) (*comm.Hub, []*comm.Spoke, *task.Registry, *metrics.Counters) {
+	t.Helper()
+	reg := task.NewRegistry()
+	reg.Register("test.echo", func([]byte) error { return nil })
+	var ctrs metrics.Counters
+	hub, err := comm.ListenHub("127.0.0.1:0", places, &ctrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hub.Close() })
+	spokes := make([]*comm.Spoke, places)
+	for p := 1; p < places; p++ {
+		s, err := comm.DialSpoke(hub.Addr(), p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spokes[p] = s
+		t.Cleanup(func() { s.Close() })
+	}
+	if err := hub.AwaitTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return hub, spokes, reg, &ctrs
+}
+
+// echoRun is the executor work function: reply with 3× the batch id,
+// after an optional delay that keeps the run alive long enough for the
+// scheduled churn to land mid-flight.
+func echoRun(delay time.Duration) func(string, []byte) ([]byte, error) {
+	return func(name string, arg []byte) ([]byte, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return u64(binary.BigEndian.Uint64(arg) * 3), nil
+	}
+}
+
+// runCoordinator drives batches through coord and checks the
+// exactly-once contract: every id accounted once, with the right value.
+func runCoordinator(t *testing.T, coord *Coordinator, batches int) error {
+	t.Helper()
+	work := make([]Batch, batches)
+	for i := range work {
+		work[i] = Batch{ID: i, Arg: u64(uint64(i))}
+	}
+	results := make(map[int]uint64)
+	calls := make(map[int]int)
+	var mu sync.Mutex
+	coord.OnResult = func(id int, result []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls[id]++
+		results[id] = binary.BigEndian.Uint64(result)
+	}
+	err := coord.Run(work)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < batches; i++ {
+		if calls[i] != 1 {
+			t.Fatalf("batch %d accounted %d times, want exactly once", i, calls[i])
+		}
+		if results[i] != uint64(i)*3 {
+			t.Fatalf("batch %d result = %d, want %d", i, results[i], uint64(i)*3)
+		}
+	}
+	return nil
+}
+
+// TestExecutorDrainGraceful drains an executor mid-run: it announces
+// after two batches, nacks its queued spawns back, and the coordinator
+// offloads them to the survivor — nothing re-executed, nothing lost.
+func TestExecutorDrainGraceful(t *testing.T) {
+	hub, spokes, reg, ctrs := churnHub(t, 3)
+
+	type served struct {
+		done int
+		err  error
+	}
+	exDone := make(chan served, 2)
+	go func() {
+		ex := &Executor{Node: spokes[1], Place: 1, Registry: reg,
+			Run: echoRun(2 * time.Millisecond), DrainAfter: 2}
+		done, err := ex.Serve()
+		exDone <- served{done, err}
+	}()
+	go func() {
+		ex := &Executor{Node: spokes[2], Place: 2, Registry: reg,
+			Run: echoRun(time.Millisecond)}
+		done, err := ex.Serve()
+		exDone <- served{done, err}
+	}()
+
+	coord := &Coordinator{
+		Node:       hub,
+		Places:     3,
+		Counters:   ctrs,
+		TaskName:   "test.echo",
+		RetryAfter: 2 * time.Second,
+	}
+	if err := runCoordinator(t, coord, 18); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	var drained served
+	for i := 0; i < 2; i++ {
+		s := <-exDone
+		if s.err != nil {
+			t.Fatalf("executor: %v", s.err)
+		}
+		if s.done == 2 {
+			drained = s
+		}
+	}
+	if drained.done != 2 {
+		t.Fatalf("draining executor served %d batches, want exactly its DrainAfter=2", drained.done)
+	}
+	if got := ctrs.MembershipDrains.Load(); got != 1 {
+		t.Fatalf("MembershipDrains = %d, want 1", got)
+	}
+	if ctrs.TasksOffloaded.Load() == 0 {
+		t.Fatalf("drain returned no queued batches; expected offloads")
+	}
+	if got := ctrs.TasksReExecuted.Load(); got != 0 {
+		t.Fatalf("graceful drain re-executed %d batches, want 0", got)
+	}
+	if got := ctrs.PlacesLost.Load(); got != 0 {
+		t.Fatalf("graceful drain counted as place loss: %d", got)
+	}
+}
+
+// TestExecutorJoinAbsent starts place 2 absent: its transport link is
+// up but it has not announced, so it gets no work until its KindJoin
+// lands mid-run.
+func TestExecutorJoinAbsent(t *testing.T) {
+	hub, spokes, reg, ctrs := churnHub(t, 3)
+
+	exDone := make(chan error, 2)
+	go func() {
+		ex := &Executor{Node: spokes[1], Place: 1, Registry: reg,
+			Run: echoRun(4 * time.Millisecond)}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+	go func() {
+		// The joiner: silent for 80ms, then announces and serves.
+		time.Sleep(80 * time.Millisecond)
+		ex := &Executor{Node: spokes[2], Place: 2, Registry: reg,
+			Run: echoRun(time.Millisecond), Announce: true}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+
+	coord := &Coordinator{
+		Node:       hub,
+		Places:     3,
+		Counters:   ctrs,
+		TaskName:   "test.echo",
+		Absent:     []int{2},
+		RetryAfter: 2 * time.Second,
+	}
+	if err := runCoordinator(t, coord, 40); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-exDone; err != nil {
+			t.Fatalf("executor: %v", err)
+		}
+	}
+	if got := ctrs.MembershipJoins.Load(); got != 1 {
+		t.Fatalf("MembershipJoins = %d, want 1", got)
+	}
+	if got := ctrs.TasksReExecuted.Load(); got != 0 {
+		t.Fatalf("a join must not re-execute batches, got %d", got)
+	}
+}
+
+// TestHeartbeatDetectorGrayFailure is the failure the transport cannot
+// see: place 2's process stops serving but its connection stays open,
+// so no KindPlaceDown ever fires. Only the heartbeat detector notices
+// the silence, declares the place down, and re-dispatches its work.
+func TestHeartbeatDetectorGrayFailure(t *testing.T) {
+	hub, spokes, reg, ctrs := churnHub(t, 3)
+
+	exDone := make(chan error, 2)
+	go func() {
+		ex := &Executor{Node: spokes[1], Place: 1, Registry: reg,
+			Run: echoRun(time.Millisecond), Heartbeat: 15 * time.Millisecond}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+	go func() {
+		// Gray failure: beat a few times (the detector needs a last-heard
+		// baseline), burn 60ms on one batch, then go silent with the
+		// connection still open.
+		ex := &Executor{Node: spokes[2], Place: 2, Registry: reg,
+			Run: echoRun(60 * time.Millisecond), Heartbeat: 15 * time.Millisecond,
+			CrashAfter: 1}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+
+	coord := &Coordinator{
+		Node:       hub,
+		Places:     3,
+		Counters:   ctrs,
+		TaskName:   "test.echo",
+		Heartbeat:  20 * time.Millisecond,
+		RetryAfter: 10 * time.Second, // only the detector may recover this run
+	}
+	if err := runCoordinator(t, coord, 12); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if err := <-exDone; err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+	if got := ctrs.HeartbeatMisses.Load(); got == 0 {
+		t.Fatalf("the silent place was never suspected")
+	}
+	if got := ctrs.PlacesLost.Load(); got != 1 {
+		t.Fatalf("PlacesLost = %d, want 1 (detector-declared down)", got)
+	}
+	if got := ctrs.TasksReExecuted.Load(); got == 0 {
+		t.Fatalf("the dead place's outstanding batches were never re-dispatched")
+	}
+}
+
+// TestNoSurvivorsTyped removes the last executor under a coordinator
+// with no RunLocal fallback: Run must fail with the typed, matchable
+// no-survivors error instead of wedging or silently running locally.
+func TestNoSurvivorsTyped(t *testing.T) {
+	hub, spokes, reg, ctrs := churnHub(t, 2)
+
+	exDone := make(chan error, 1)
+	go func() {
+		ex := &Executor{Node: spokes[1], Place: 1, Registry: reg,
+			Run: echoRun(time.Millisecond), CrashAfter: 1}
+		_, err := ex.Serve()
+		spokes[1].Close() // fail-stop: the transport sees the link die
+		exDone <- err
+	}()
+
+	coord := &Coordinator{
+		Node:       hub,
+		Places:     2,
+		Counters:   ctrs,
+		TaskName:   "test.echo",
+		RetryAfter: 2 * time.Second,
+	}
+	err := runCoordinator(t, coord, 5)
+	if err == nil {
+		t.Fatalf("coordinator with no survivors and no RunLocal should fail")
+	}
+	if !errors.Is(err, ErrNoSurvivors) {
+		t.Fatalf("error = %v, want errors.Is(_, ErrNoSurvivors)", err)
+	}
+	var nse *NoSurvivorsError
+	if !errors.As(err, &nse) {
+		t.Fatalf("error %T does not unwrap to *NoSurvivorsError", err)
+	}
+	if nse.Batch < 0 || nse.Batch >= 5 {
+		t.Fatalf("NoSurvivorsError.Batch = %d, want a dispatched batch id", nse.Batch)
+	}
+	if err := <-exDone; err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+}
+
+// TestRetryRacesConcurrentCrashes crashes every executor at staggered
+// points while a short retry timer keeps re-sending outstanding work:
+// retryOutstanding races the markDown of multiple places, and the
+// RunLocal fallback must still account every batch exactly once. Run
+// with -race.
+func TestRetryRacesConcurrentCrashes(t *testing.T) {
+	hub, spokes, reg, ctrs := churnHub(t, 4)
+
+	exDone := make(chan error, 3)
+	for p := 1; p <= 3; p++ {
+		go func(p int) {
+			ex := &Executor{Node: spokes[p], Place: p, Registry: reg,
+				Run: echoRun(time.Millisecond), CrashAfter: p + 1}
+			_, err := ex.Serve()
+			spokes[p].Close()
+			exDone <- err
+		}(p)
+	}
+
+	coord := &Coordinator{
+		Node:     hub,
+		Places:   4,
+		Counters: ctrs,
+		TaskName: "test.echo",
+		RunLocal: func(arg []byte) ([]byte, error) {
+			return u64(binary.BigEndian.Uint64(arg) * 3), nil
+		},
+		RetryAfter: 50 * time.Millisecond,
+	}
+	if err := runCoordinator(t, coord, 30); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-exDone; err != nil {
+			t.Fatalf("executor: %v", err)
+		}
+	}
+	if got := ctrs.PlacesLost.Load(); got != 3 {
+		t.Fatalf("PlacesLost = %d, want 3", got)
+	}
+	if ctrs.TasksReExecuted.Load() == 0 {
+		t.Fatalf("crashing every executor re-dispatched nothing")
+	}
+}

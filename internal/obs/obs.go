@@ -106,6 +106,18 @@ const (
 	// completion triggered the flip (-1 in the real runtime), Arg = the
 	// new class (0 sensitive, 1 flexible).
 	KindReclassify
+	// KindJoin marks a place joining the cluster at runtime.
+	// Arg = the joiner's incarnation.
+	KindJoin
+	// KindDrain marks a place starting a graceful drain. Arg = queued
+	// tasks offloaded to survivors.
+	KindDrain
+	// KindPartition marks an injected network partition taking effect.
+	// Arg = the number of places on the smaller side.
+	KindPartition
+	// KindHeal marks a partition healing or a flapped place recovering.
+	// Arg = the recovering place (-1 for a partition-wide heal).
+	KindHeal
 	numKinds
 )
 
@@ -121,6 +133,10 @@ var kindNames = [...]string{
 	KindArrive:      "arrive",
 	KindCrash:       "crash",
 	KindReclassify:  "reclassify",
+	KindJoin:        "join",
+	KindDrain:       "drain",
+	KindPartition:   "partition",
+	KindHeal:        "heal",
 }
 
 // String returns the stable wire name of the kind (used by the native

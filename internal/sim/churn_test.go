@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+
+	"distws/internal/fault"
+	"distws/internal/sched"
+)
+
+// TestJoinLateArrivalsShareWork verifies a late joiner picks up work: the
+// place is absent (no homing, no victim sweeps) until its join instant,
+// then steals its way into the computation.
+func TestJoinLateArrivalsShareWork(t *testing.T) {
+	g := flatGraph(t, 200, 1_000_000, 0, 1, true)
+	plan := &fault.Plan{Joins: []fault.Join{{Place: 3, AtNS: 2_000_000}}}
+	r, err := Run(g, cluster(4, 2), sched.DistWS, Options{Seed: 7, Fault: plan})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Counters.TasksExecuted != 200 {
+		t.Fatalf("executed %d of 200 with a late joiner", r.Counters.TasksExecuted)
+	}
+	if r.Counters.MembershipJoins != 1 {
+		t.Fatalf("MembershipJoins = %d, want 1", r.Counters.MembershipJoins)
+	}
+	if r.PlaceBusyNS[3] == 0 {
+		t.Fatalf("joiner never executed anything: %v", r.PlaceBusyNS)
+	}
+	if r.Counters.TasksReExecuted != 0 {
+		t.Fatalf("a join must not re-execute tasks, got %d", r.Counters.TasksReExecuted)
+	}
+}
+
+// TestGracefulDrainNoReExecution is the drain half of the exactly-once
+// contract: offloading a departing place's queue moves tasks that never
+// started, so nothing is re-executed and nothing is lost.
+func TestGracefulDrainNoReExecution(t *testing.T) {
+	g := flatGraph(t, 240, 1_000_000, -1, 4, true)
+	plan := &fault.Plan{Drains: []fault.Drain{
+		{Place: 1, AtNS: 1_500_000},
+		{Place: 2, AtNS: 3_000_000},
+	}}
+	r, err := Run(g, cluster(4, 2), sched.DistWS, Options{Seed: 7, Fault: plan})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Counters.TasksExecuted != 240 {
+		t.Fatalf("executed %d of 240 under two drains", r.Counters.TasksExecuted)
+	}
+	if r.Counters.MembershipDrains != 2 {
+		t.Fatalf("MembershipDrains = %d, want 2", r.Counters.MembershipDrains)
+	}
+	if r.Counters.TasksOffloaded == 0 {
+		t.Fatalf("draining loaded places should offload queued tasks")
+	}
+	if r.Counters.TasksReExecuted != 0 {
+		t.Fatalf("graceful drain re-executed %d tasks, want 0", r.Counters.TasksReExecuted)
+	}
+	if r.Counters.PlacesLost != 0 {
+		t.Fatalf("graceful drain counted as place loss: %d", r.Counters.PlacesLost)
+	}
+}
+
+// TestFlapRecoversAndRejoins drives one place through two down/up cycles:
+// each outage is a crash (work re-homed, re-executed), each recovery a
+// rejoin that resumes stealing rather than staying evicted.
+func TestFlapRecoversAndRejoins(t *testing.T) {
+	g := flatGraph(t, 300, 1_000_000, -1, 4, true)
+	plan := &fault.Plan{Flaps: []fault.Flap{
+		{Place: 2, AtNS: 1_000_000, DownNS: 2_000_000, UpNS: 3_000_000, Cycles: 2},
+	}}
+	r, err := Run(g, cluster(4, 2), sched.DistWS, Options{Seed: 7, Fault: plan})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Counters.TasksExecuted != 300 {
+		t.Fatalf("executed %d of 300 under flapping", r.Counters.TasksExecuted)
+	}
+	if r.Counters.PlacesLost != 2 {
+		t.Fatalf("PlacesLost = %d, want 2 (one per down cycle)", r.Counters.PlacesLost)
+	}
+	if r.Counters.MembershipRejoins != 2 {
+		t.Fatalf("MembershipRejoins = %d, want 2", r.Counters.MembershipRejoins)
+	}
+}
+
+// TestPartitionHealsAndSlowsSteals cuts the cluster in two for a window:
+// cross-cut probes burn timeouts while the cut is up, and the run still
+// completes exactly once after the heal.
+func TestPartitionHealsAndSlowsSteals(t *testing.T) {
+	g := flatGraph(t, 200, 1_000_000, 0, 1, true)
+	plan := &fault.Plan{Partitions: []fault.Partition{
+		{GroupA: []int{0, 1}, AtNS: 1, HealNS: 30_000_000},
+	}}
+	r, err := Run(g, cluster(4, 2), sched.DistWS, Options{Seed: 7, Fault: plan})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Counters.TasksExecuted != 200 {
+		t.Fatalf("executed %d of 200 across a partition", r.Counters.TasksExecuted)
+	}
+	if r.Counters.StealTimeouts == 0 || r.Counters.DroppedMessages == 0 {
+		t.Fatalf("cross-cut probes should burn timeouts: %+v", r.Counters)
+	}
+	if r.Counters.TasksReExecuted != 0 {
+		t.Fatalf("a partition (no crash) must not re-execute tasks, got %d",
+			r.Counters.TasksReExecuted)
+	}
+}
+
+// TestGrayAndDuplicationOverheads checks the remaining fault vocabulary:
+// gray links slow the steal path without losing anything, duplicated
+// replies are counted and absorbed.
+func TestGrayAndDuplicationOverheads(t *testing.T) {
+	g := flatGraph(t, 200, 500_000, 0, 1, true)
+	clean, err := Run(g, cluster(4, 2), sched.DistWS, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("clean Run: %v", err)
+	}
+	plan := &fault.Plan{
+		Seed:    3,
+		Grays:   []fault.Gray{{From: -1, To: -1, ExtraNS: 400_000}},
+		DupProb: 0.5,
+	}
+	r, err := Run(g, cluster(4, 2), sched.DistWS, Options{Seed: 7, Fault: plan})
+	if err != nil {
+		t.Fatalf("gray Run: %v", err)
+	}
+	if r.Counters.TasksExecuted != 200 {
+		t.Fatalf("executed %d of 200 under gray links", r.Counters.TasksExecuted)
+	}
+	if r.MakespanNS <= clean.MakespanNS {
+		t.Fatalf("gray makespan %d not slower than clean %d", r.MakespanNS, clean.MakespanNS)
+	}
+	if r.Counters.DuplicatedMessages == 0 {
+		t.Fatalf("50%% duplication produced no duplicates")
+	}
+	// Every duplicated reply is also counted as a real message on the wire.
+	if r.Counters.Messages < r.Counters.DuplicatedMessages {
+		t.Fatalf("messages %d < duplicates %d", r.Counters.Messages, r.Counters.DuplicatedMessages)
+	}
+}
+
+// TestChurnDeterminism reruns the full churn vocabulary — join, drain,
+// flap, partition, gray, duplication — under one seed and demands
+// identical makespans and counters.
+func TestChurnDeterminism(t *testing.T) {
+	g := deepGraph(t, 10, 5, 700_000, true)
+	plan := &fault.Plan{
+		Seed:     5,
+		DropProb: 0.05,
+		DupProb:  0.1,
+		Joins:    []fault.Join{{Place: 3, AtNS: 1_000_000}},
+		Drains:   []fault.Drain{{Place: 1, AtNS: 2_000_000}},
+		Flaps:    []fault.Flap{{Place: 2, AtNS: 1_500_000, DownNS: 1_000_000, UpNS: 1_000_000, Cycles: 2}},
+		Partitions: []fault.Partition{
+			{GroupA: []int{0, 1}, AtNS: 500_000, HealNS: 4_000_000},
+		},
+		Grays: []fault.Gray{{From: 0, To: 2, ExtraNS: 100_000, AtNS: 1, UntilNS: 3_000_000}},
+	}
+	opts := Options{Seed: 7, Fault: plan}
+	a, err := Run(g, cluster(4, 2), sched.DistWS, opts)
+	if err != nil {
+		t.Fatalf("Run a: %v", err)
+	}
+	b, err := Run(g, cluster(4, 2), sched.DistWS, opts)
+	if err != nil {
+		t.Fatalf("Run b: %v", err)
+	}
+	if a.MakespanNS != b.MakespanNS || a.Counters != b.Counters {
+		t.Fatalf("churn run nondeterministic:\n%v\n%v", a, b)
+	}
+	if int(a.Counters.TasksExecuted) != g.NumTasks() {
+		t.Fatalf("executed %d of %d under full churn", a.Counters.TasksExecuted, g.NumTasks())
+	}
+	if a.Counters.MembershipJoins != 1 || a.Counters.MembershipDrains != 1 ||
+		a.Counters.MembershipRejoins != 2 {
+		t.Fatalf("membership counters off: %+v", a.Counters)
+	}
+}

@@ -146,11 +146,15 @@ func (r *Result) String() string {
 type evKind uint8
 
 const (
-	evSpawn  evKind = iota // a task becomes available
-	evWake                 // an idle worker re-checks for work
-	evDone                 // a worker finishes its task
-	evArrive               // stolen/pushed tasks arrive at a place's shared deque
-	evCrash                // a place fail-stops (fault injection)
+	evSpawn     evKind = iota // a task becomes available
+	evWake                    // an idle worker re-checks for work
+	evDone                    // a worker finishes its task
+	evArrive                  // stolen/pushed tasks arrive at a place's shared deque
+	evCrash                   // a place fail-stops (fault injection)
+	evJoin                    // an absent place joins the cluster
+	evDrain                   // a place starts a graceful drain
+	evHeal                    // a flapped place recovers (place >= 0) or a partition heals (place -1)
+	evPartition               // an injected partition takes effect (place = smaller-side size)
 )
 
 type event struct {
@@ -203,9 +207,15 @@ type simPlace struct {
 	failedSweeps int
 	spawnSeq     uint64
 	rr           int
-	// dead marks a crashed place: it executes nothing, answers no steals,
-	// and is excluded from victim sweeps, wakes, and task homing.
+	// dead marks a crashed or not-yet-joined place: it executes nothing,
+	// answers no steals, and is excluded from victim sweeps, wakes, and
+	// task homing.
 	dead bool
+	// draining marks a place departing gracefully: it refuses new steals
+	// and starts no new work, but its in-flight tasks complete and their
+	// results count normally (no re-execution). Once the last one
+	// finishes, the place flips to dead.
+	draining bool
 	// executed counts tasks completed here, for AfterTasks crash triggers.
 	executed  int64
 	lifelines []bool // waiting places registered on this place
@@ -360,6 +370,33 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 			e.push(event{at: at, kind: evCrash, place: p})
 		}
 	}
+	// Churn schedule: late joiners start absent, drains and flap cycles
+	// are timed events, partitions get bracketing marker events so the
+	// trace shows when the cut opened and healed (the cut itself is
+	// evaluated per steal probe against the virtual clock).
+	if f := opts.Fault; f != nil {
+		for _, j := range f.Joins {
+			e.places[j.Place].dead = true
+			e.push(event{at: j.AtNS, kind: evJoin, place: j.Place})
+		}
+		for _, d := range f.Drains {
+			e.push(event{at: d.AtNS, kind: evDrain, place: d.Place})
+		}
+		for _, fl := range f.Flaps {
+			period := fl.DownNS + fl.UpNS
+			for i := 0; i < fl.Cycles; i++ {
+				at := fl.AtNS + int64(i)*period
+				e.push(event{at: at, kind: evCrash, place: fl.Place})
+				e.push(event{at: at + fl.DownNS, kind: evHeal, place: fl.Place})
+			}
+		}
+		for _, part := range f.Partitions {
+			e.push(event{at: part.AtNS, kind: evPartition, place: len(part.GroupA)})
+			if part.HealNS > 0 {
+				e.push(event{at: part.HealNS, kind: evHeal, place: -1})
+			}
+		}
+	}
 
 	for _, r := range g.Roots {
 		home := g.Tasks[r].Home
@@ -384,6 +421,18 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 			e.handleArrive(ev)
 		case evCrash:
 			e.crashPlace(e.places[ev.place])
+		case evJoin:
+			e.joinPlace(e.places[ev.place])
+		case evDrain:
+			e.drainPlace(e.places[ev.place])
+		case evHeal:
+			if ev.place < 0 {
+				e.record(0, 0, obs.KindHeal, -1, -1, 0)
+			} else {
+				e.healPlace(e.places[ev.place])
+			}
+		case evPartition:
+			e.record(0, 0, obs.KindPartition, -1, int32(ev.place), 0)
 		}
 	}
 	if e.tasksDone < len(g.Tasks) {
@@ -458,9 +507,9 @@ func (e *engine) load(p *simPlace) sched.PlaceLoad {
 // handleSpawn maps a newly available task per Algorithm 1 lines 1–8.
 func (e *engine) handleSpawn(ev event) {
 	t := &e.g.Tasks[ev.taskID]
-	if e.places[ev.home].dead {
-		// The home place failed before (or while) the task arrived: the
-		// runtime re-homes it to a survivor.
+	if e.places[ev.home].dead || e.places[ev.home].draining {
+		// The home place failed (or is departing) before the task arrived:
+		// the runtime re-homes it to a survivor.
 		ev.home = e.aliveHome(ev.home)
 	}
 	home := e.places[ev.home]
@@ -515,7 +564,7 @@ func (e *engine) handleSpawn(ev event) {
 // when the work is remotely stealable and p has no idle workers, one
 // dormant remote worker is woken to model a thief noticing the surplus.
 func (e *engine) wakeFor(p *simPlace, remotelyStealable bool) {
-	if p.dead {
+	if p.dead || p.draining {
 		return
 	}
 	for _, w := range p.workers {
@@ -531,7 +580,7 @@ func (e *engine) wakeFor(p *simPlace, remotelyStealable bool) {
 	}
 	for off := 0; off < len(e.places); off++ {
 		q := e.places[(e.remoteRR+off)%len(e.places)]
-		if q == p || q.dead {
+		if q == p || q.dead || q.draining {
 			continue
 		}
 		for _, w := range q.workers {
@@ -558,9 +607,10 @@ func (e *engine) handleWake(worker int) {
 
 func (e *engine) handleDone(ev event) {
 	w := e.workers[ev.worker]
-	if w.place.dead {
-		// The place crashed while this task was executing; the completion
-		// is lost and the crash handler already re-homed the task.
+	if w.place.dead || !w.busy || w.curTask != ev.taskID {
+		// Stale completion: the place crashed (and possibly healed) while
+		// this task was executing; the crash handler reset the worker and
+		// re-homed the task, so this event no longer names live work.
 		return
 	}
 	w.busy = false
@@ -577,6 +627,14 @@ func (e *engine) handleDone(ev event) {
 		e.crashPlace(w.place)
 		return
 	}
+	if w.place.draining {
+		// No new work for a departing place; once the last in-flight task
+		// has flushed, the place leaves the cluster for good.
+		if w.place.running == 0 {
+			w.place.dead = true
+		}
+		return
+	}
 	if e.tasksDone == len(e.g.Tasks) {
 		return
 	}
@@ -585,11 +643,17 @@ func (e *engine) handleDone(ev event) {
 
 func (e *engine) handleArrive(ev event) {
 	p := e.places[ev.place]
-	if p.dead {
-		// Stolen tasks in flight toward a crashed thief: re-home them so
-		// the work is not lost with the place.
+	if p.dead || p.draining {
+		// Stolen tasks in flight toward a crashed or departing thief:
+		// re-home them so the work is not lost with the place. A crash
+		// counts as re-execution (state was lost); a drain merely offloads
+		// tasks that never started.
 		for _, id := range ev.batch {
-			e.ctrs.TasksReExecuted.Add(1)
+			if p.dead {
+				e.ctrs.TasksReExecuted.Add(1)
+			} else {
+				e.ctrs.TasksOffloaded.Add(1)
+			}
 			e.push(event{at: e.now, kind: evSpawn, taskID: id,
 				home: e.aliveHome(ev.place), from: -1, fromW: -1, requeue: true})
 		}
@@ -617,7 +681,7 @@ func (e *engine) aliveHome(prefer int) int {
 	}
 	for i := 0; i < n; i++ {
 		p := (prefer + i) % n
-		if !e.places[p].dead {
+		if !e.places[p].dead && !e.places[p].draining {
 			return p
 		}
 	}
@@ -657,9 +721,14 @@ func (e *engine) crashPlace(p *simPlace) {
 	for _, w := range p.workers {
 		if w.busy && w.curTask >= 0 {
 			orphans = append(orphans, w.curTask)
-			w.curTask = -1
 		}
+		// Reset worker state so a later heal restarts the place cleanly;
+		// the stale-completion guard in handleDone discards the in-flight
+		// evDone events these interrupted tasks left behind.
+		w.busy = false
+		w.curTask = -1
 	}
+	p.running = 0
 
 	e.record(p.id, 0, obs.KindCrash, -1, int32(len(orphans)), 0)
 	for i, id := range orphans {
@@ -670,11 +739,89 @@ func (e *engine) crashPlace(p *simPlace) {
 	}
 }
 
+// joinPlace brings an absent place into the cluster at e.now. The place
+// starts idle and empty; its workers acquire work by stealing, and new
+// spawns may be homed there from this instant on.
+func (e *engine) joinPlace(p *simPlace) {
+	if !p.dead {
+		return
+	}
+	p.dead = false
+	p.draining = false
+	p.active = false
+	p.failedSweeps = 0
+	e.ctrs.MembershipJoins.Add(1)
+	e.record(p.id, 0, obs.KindJoin, -1, 1, 0)
+	// Wake one worker so the joiner starts probing for surplus instead of
+	// waiting for the next spawn to notice it.
+	e.wakeFor(p, true)
+}
+
+// drainPlace starts a graceful departure: every queued-but-unstarted task
+// is offloaded to survivors (counted as TasksOffloaded — the work never
+// ran, so nothing is re-executed), in-flight tasks finish and report
+// normally, and the place flips to dead once the last one completes.
+func (e *engine) drainPlace(p *simPlace) {
+	if p.dead || p.draining {
+		return
+	}
+	p.draining = true
+	p.active = false
+	e.ctrs.MembershipDrains.Add(1)
+
+	var moved []int
+	for {
+		id, ok := p.shared.Poll()
+		if !ok {
+			break
+		}
+		moved = append(moved, id)
+	}
+	for _, w := range p.workers {
+		for {
+			id, ok := w.priv.Pop()
+			if !ok {
+				break
+			}
+			moved = append(moved, id)
+		}
+	}
+	p.queued -= len(moved)
+
+	e.record(p.id, 0, obs.KindDrain, -1, int32(len(moved)), 0)
+	for i, id := range moved {
+		e.ctrs.TasksOffloaded.Add(1)
+		delay := e.cl.Net.TransferNS(e.g.Tasks[id].MigBytes)
+		e.push(event{at: e.now + delay, kind: evSpawn, taskID: id,
+			home: e.aliveHome(p.id + 1 + i), from: -1, fromW: -1, requeue: true})
+	}
+	if p.running == 0 {
+		p.dead = true
+	}
+}
+
+// healPlace recovers a flapped place: the outage re-homed its work (that
+// was a crash, with re-execution), but the link is re-established rather
+// than evicted, so the place rejoins with empty deques and steals its way
+// back into the computation.
+func (e *engine) healPlace(p *simPlace) {
+	if !p.dead {
+		return
+	}
+	p.dead = false
+	p.draining = false
+	p.active = false
+	p.failedSweeps = 0
+	e.ctrs.MembershipRejoins.Add(1)
+	e.record(p.id, 0, obs.KindHeal, -1, int32(p.id), 0)
+	e.wakeFor(p, true)
+}
+
 // findWork performs one Algorithm-1 sweep for w at e.now. On failure the
 // worker goes dormant until the next wake.
 func (e *engine) findWork(w *simWorker) {
 	p := w.place
-	if p.dead {
+	if p.dead || p.draining {
 		return
 	}
 	over := e.cl.Over
@@ -750,7 +897,7 @@ func (e *engine) stealRemote(w *simWorker) bool {
 	}
 	for _, v := range w.victims {
 		victim := e.places[v]
-		if victim.dead {
+		if victim.dead || victim.draining {
 			continue
 		}
 		probeStart := delay
@@ -759,8 +906,10 @@ func (e *engine) stealRemote(w *simWorker) bool {
 			e.ctrs.RemoteProbes.Add(1)
 			e.ctrs.Messages.Add(2)
 			e.record(w.place.id, w.local, obs.KindProbe, -1, int32(v), 0)
-			if e.inj.Drop(w.place.id, v) || e.inj.Drop(v, w.place.id) {
-				// Request or reply lost: the thief burns a full timeout.
+			if e.inj.PartitionedAt(w.place.id, v, e.now+delay) ||
+				e.inj.Drop(w.place.id, v) || e.inj.Drop(v, w.place.id) {
+				// Request or reply lost — to a link fault or an active
+				// partition: the thief burns a full timeout.
 				e.ctrs.DroppedMessages.Add(1)
 				e.ctrs.StealTimeouts.Add(1)
 				e.record(w.place.id, w.local, obs.KindTimeout, -1, int32(v), e.stealTimeoutNS<<attempt)
@@ -772,7 +921,16 @@ func (e *engine) stealRemote(w *simWorker) bool {
 				e.ctrs.Retries.Add(1)
 				continue
 			}
-			delay += probeRTT + e.inj.SpikeNS(w.place.id, v)
+			// Gray links degrade silently: both directions of the probe pay
+			// the injected extra latency on top of any spike.
+			delay += probeRTT + e.inj.SpikeNS(w.place.id, v) +
+				e.inj.GrayNS(w.place.id, v, e.now+delay) + e.inj.GrayNS(v, w.place.id, e.now+delay)
+			if e.inj.Duplicate(v, w.place.id) {
+				// The reply arrives twice; dedup absorbs the copy, but the
+				// extra message is real traffic.
+				e.ctrs.Messages.Add(1)
+				e.ctrs.DuplicatedMessages.Add(1)
+			}
 			break
 		}
 		if !ok {
@@ -834,7 +992,7 @@ func (e *engine) sharedDequeDelay(p *simPlace) int64 {
 // next surviving place instead, so the lifeline graph stays connected.
 func (e *engine) registerLifelines(p *simPlace) {
 	for _, q := range sched.Lifelines(p.id, len(e.places)) {
-		if e.places[q].dead {
+		if e.places[q].dead || e.places[q].draining {
 			q = e.aliveHome(q + 1)
 			if q == p.id {
 				continue
@@ -858,8 +1016,8 @@ func (e *engine) serveLifelines(p *simPlace) {
 		if !p.lifelines[q] {
 			continue
 		}
-		if e.places[q].dead {
-			// A waiter that crashed after registering: drop the edge.
+		if e.places[q].dead || e.places[q].draining {
+			// A waiter that crashed or is departing: drop the edge.
 			p.lifelines[q] = false
 			continue
 		}
