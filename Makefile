@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke fuzz-smoke chaos soak
+.PHONY: all build test race vet check bench bench-smoke fuzz-smoke chaos soak serve-soak
 
 all: check
 
@@ -28,11 +28,13 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkSimulator128Workers -benchtime=1x .
 
-# 30-second coverage-guided shake of the binary wire codec: every TCP
-# frame crosses DecodeFrame/ReadFrame, so malformed input must only ever
-# produce typed errors, never a panic or an over-allocation.
+# 30-second coverage-guided shakes of the binary wire codecs: the TCP
+# transport frame and the service job/reply frames both face untrusted
+# bytes, so malformed input must only ever produce typed errors, never a
+# panic or an over-allocation.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWireFrame -fuzztime=30s ./internal/comm
+	$(GO) test -run='^$$' -fuzz=FuzzServiceFrame -fuzztime=30s ./internal/service
 
 # The gate a change must pass before merging.
 check: build vet test race bench-smoke fuzz-smoke
@@ -55,6 +57,18 @@ soak:
 	$(GO) test -race -count=1 -run 'Churn|Drain|Join|Flap|Partition|Gray|Heartbeat|Survivors|Retry|Rejoin|Member|Detector' \
 		-timeout 10m ./internal/node/ ./internal/sim/ ./internal/core/ ./internal/member/
 	$(GO) test -run='^$$' -fuzz=FuzzMemberPayload -fuzztime=15s ./internal/member
+
+# Service soak: sustained multi-tenant load at the task service over a
+# real TCP mesh — admission rejections, fair-share dispatch, a mid-run
+# join and a graceful drain with exactly-once accounting — plus the
+# fixed-seed virtual-time simulation, rerun and compared bit for bit
+# (in-process and again through the distws-load -sim -verify CLI).
+serve-soak:
+	$(GO) test -race -count=1 -v -run 'TestServe' -timeout 10m .
+	$(GO) test -race -count=1 -run 'TestService|TestRunLoad|TestSimulate' -timeout 10m ./internal/service
+	$(GO) run ./cmd/distws-load -sim -verify -seed 7 -slots 4 -duration 2s \
+		-churn "500ms:-2;1s:+2" \
+		-spec "1:w=1,arrival=5000,svc=1ms,inflight=32;2:w=3,arrival=5000,svc=1ms,inflight=32"
 
 # Fault-injection suite only (also part of `test`).
 chaos:

@@ -180,6 +180,11 @@ func run() error {
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if cliutil.VersionRequested() {
+		cliutil.PrintVersion(os.Stdout, "distws-bench")
+		return nil
+	}
+
 	if err := diag.Start(); err != nil {
 		return err
 	}

@@ -43,6 +43,11 @@ func run() error {
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if cliutil.VersionRequested() {
+		cliutil.PrintVersion(os.Stdout, "distws-experiments")
+		return nil
+	}
+
 	if err := diag.Start(); err != nil {
 		return err
 	}

@@ -51,7 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"distws/internal/cliutil"
@@ -139,6 +141,11 @@ func run() error {
 	)
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if cliutil.VersionRequested() {
+		cliutil.PrintVersion(os.Stdout, "distws-node")
+		return nil
+	}
 
 	tr, err := comm.ParseTransport(*transport)
 	if err != nil {
@@ -304,6 +311,17 @@ func serve(n comm.Node, cfg comm.NodeConfig, place, workers, crashAfter, drainAf
 			fmt.Printf(format+"\n", a...)
 		},
 	}
+	// SIGTERM/SIGINT drain instead of kill: announce KindDrain, finish
+	// what is already queued here, and leave with nothing re-executed.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigs)
+	go func() {
+		if sig, ok := <-sigs; ok {
+			fmt.Printf("node %d: %v received, draining\n", place, sig)
+			ex.Drain()
+		}
+	}()
 	_, err = ex.Serve()
 	return err
 }

@@ -84,6 +84,11 @@ func run() error {
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if cliutil.VersionRequested() {
+		cliutil.PrintVersion(os.Stdout, "distws-run")
+		return nil
+	}
+
 	if *list {
 		fmt.Println("paper suite:", strings.Join(suite.Names(), " "))
 		fmt.Println("micro suite:", strings.Join(microNames(), " "))

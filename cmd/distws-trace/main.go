@@ -35,6 +35,11 @@ func run() error {
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if cliutil.VersionRequested() {
+		cliutil.PrintVersion(os.Stdout, "distws-trace")
+		return nil
+	}
+
 	if err := diag.Start(); err != nil {
 		return err
 	}

@@ -29,12 +29,15 @@ type Diagnostics struct {
 }
 
 // RegisterFlags registers the shared diagnostic flags on fs (typically
-// flag.CommandLine) and returns the holder to Start after parsing.
+// flag.CommandLine) and returns the holder to Start after parsing. It
+// also registers the shared -version flag; after parsing, a main that
+// sees VersionRequested prints with PrintVersion and exits.
 func RegisterFlags(fs *flag.FlagSet) *Diagnostics {
 	d := &Diagnostics{}
 	fs.StringVar(&d.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	fs.StringVar(&d.memprofile, "memprofile", "", "write a pprof heap profile at exit to `file`")
 	fs.StringVar(&d.listen, "listen", "", "serve live introspection on `addr`: /metrics, /debug/pprof, /trace")
+	RegisterVersionFlag(fs)
 	return d
 }
 

@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// versionRequested is set by the shared -version flag.
+var versionRequested bool
+
+// RegisterVersionFlag registers the shared -version flag on fs. Every
+// cmd/ binary calls this (via RegisterFlags or directly) so `<binary>
+// -version` behaves identically across the suite.
+func RegisterVersionFlag(fs *flag.FlagSet) {
+	fs.BoolVar(&versionRequested, "version", false, "print build information and exit")
+}
+
+// VersionRequested reports whether -version was parsed. The caller
+// prints with PrintVersion and exits zero.
+func VersionRequested() bool { return versionRequested }
+
+// PrintVersion writes the binary's build information: the module
+// version/revision stamped by the Go toolchain (VCS metadata when built
+// from a checkout, the module version when installed from a proxy) plus
+// the toolchain and platform. It never fails — a binary stripped of
+// build info still reports the runtime version.
+func PrintVersion(w io.Writer, binary string) {
+	version, revision, modified := "devel", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s %s", binary, version)
+	if revision != "" {
+		short := revision
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		fmt.Fprintf(w, " (%s", short)
+		if modified {
+			fmt.Fprint(w, "+dirty")
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintf(w, " %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,45 @@
+package cliutil
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVersionFlag pins the shared -version plumbing: the flag parses,
+// the report names the binary, and it always carries the toolchain and
+// platform even without stamped VCS metadata.
+func TestVersionFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	versionRequested = false
+	RegisterVersionFlag(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !VersionRequested() {
+		t.Fatal("VersionRequested false after parsing -version")
+	}
+	var b strings.Builder
+	PrintVersion(&b, "distws-serve")
+	out := b.String()
+	for _, want := range []string{"distws-serve", runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH} {
+		if !strings.Contains(out, want) {
+			t.Errorf("version output %q missing %q", out, want)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("version output %q not newline-terminated", out)
+	}
+}
+
+// TestRegisterFlagsIncludesVersion pins that every binary using the
+// shared diagnostics flags gets -version for free.
+func TestRegisterFlagsIncludesVersion(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	versionRequested = false
+	RegisterFlags(fs)
+	if fs.Lookup("version") == nil {
+		t.Fatal("RegisterFlags did not register -version")
+	}
+}

@@ -75,6 +75,22 @@ const (
 	KindSpawnNack Kind = 213
 )
 
+// Service protocol kinds (internal/service). Numbered from 220: the
+// long-lived task service speaks these between client seats and the
+// front door (place 0), on top of the same transports.
+const (
+	// KindSubmit streams one job from a client seat into the service;
+	// payload: a service job frame (versioned header + opaque argument).
+	KindSubmit Kind = 220
+	// KindJobDone returns a completed job's result to the submitting
+	// client; payload: a service reply frame carrying the result.
+	KindJobDone Kind = 221
+	// KindJobNack rejects a submission (admission control, unknown
+	// tenant, draining service); payload: a service reply frame whose
+	// code names the reason and whose retry-after hints at backoff.
+	KindJobNack Kind = 222
+)
+
 var kindNames = [...]string{
 	KindSpawn:     "spawn",
 	KindSpawnDone: "spawn-done",
@@ -100,6 +116,12 @@ func (k Kind) String() string {
 		return "drain"
 	case KindSpawnNack:
 		return "spawn-nack"
+	case KindSubmit:
+		return "submit"
+	case KindJobDone:
+		return "job-done"
+	case KindJobNack:
+		return "job-nack"
 	}
 	if int(k) < len(kindNames) {
 		return kindNames[k]

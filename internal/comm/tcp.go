@@ -126,6 +126,30 @@ func (h *Hub) AwaitTimeout(d time.Duration) error {
 	}
 }
 
+// AwaitPeers waits until at least n spokes have completed the
+// handshake, for clusters whose seat count exceeds the places expected
+// at start (client seats, late joiners). AwaitTimeout is the
+// full-assembly special case.
+func (h *Hub) AwaitPeers(n int, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		h.mu.Lock()
+		joined := len(h.conns)
+		closed := h.closed
+		h.mu.Unlock()
+		if joined >= n {
+			return nil
+		}
+		if closed {
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("comm: %d of %d hub spokes joined within %v", joined, n, d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // InjectFaults arms the hub with a fault injector: steal messages may be
 // silently dropped and any routed message may be delayed by a latency
 // spike. Call before traffic starts; nil disarms.

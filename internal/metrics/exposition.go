@@ -40,6 +40,10 @@ var expoFields = []struct {
 	{"distws_heartbeat_misses_total", "Alive-to-suspect transitions by the failure detector.", func(s Snapshot) int64 { return s.HeartbeatMisses }},
 	{"distws_tasks_offloaded_total", "Queued tasks handed to survivors by a draining place.", func(s Snapshot) int64 { return s.TasksOffloaded }},
 	{"distws_duplicated_messages_total", "Messages duplicated by injected link faults.", func(s Snapshot) int64 { return s.DuplicatedMessages }},
+	{"distws_jobs_submitted_total", "Job submissions that reached the service front door.", func(s Snapshot) int64 { return s.JobsSubmitted }},
+	{"distws_jobs_admitted_total", "Job submissions accepted by admission control.", func(s Snapshot) int64 { return s.JobsAdmitted }},
+	{"distws_jobs_rejected_total", "Job submissions nacked by admission control.", func(s Snapshot) int64 { return s.JobsRejected }},
+	{"distws_jobs_completed_total", "Admitted jobs completed and acknowledged to a client.", func(s Snapshot) int64 { return s.JobsCompleted }},
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition

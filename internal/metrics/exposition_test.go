@@ -49,6 +49,10 @@ func TestPrometheusGolden(t *testing.T) {
 		"distws_heartbeat_misses_total",
 		"distws_tasks_offloaded_total",
 		"distws_duplicated_messages_total",
+		"distws_jobs_submitted_total",
+		"distws_jobs_admitted_total",
+		"distws_jobs_rejected_total",
+		"distws_jobs_completed_total",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("exposition has %d samples, want %d:\n%v", len(names), len(want), names)

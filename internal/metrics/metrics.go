@@ -61,6 +61,15 @@ type Counters struct {
 	HeartbeatMisses    atomic.Int64 // alive→suspect transitions by the failure detector
 	TasksOffloaded     atomic.Int64 // queued tasks handed to survivors by a draining place
 	DuplicatedMessages atomic.Int64 // messages duplicated by injected link faults
+
+	// Service counters (internal/service): the long-lived multi-tenant
+	// job surface. Per-tenant breakdowns live in service.Stats; these
+	// aggregates make the service visible on the same counter line and
+	// Prometheus exposition as everything else.
+	JobsSubmitted atomic.Int64 // job submissions that reached the front door
+	JobsAdmitted  atomic.Int64 // submissions accepted by admission control
+	JobsRejected  atomic.Int64 // submissions nacked (rate, quota, draining, ...)
+	JobsCompleted atomic.Int64 // admitted jobs completed and acked to a client
 }
 
 // Snapshot is an immutable copy of a Counters at one instant.
@@ -91,6 +100,11 @@ type Snapshot struct {
 	HeartbeatMisses    int64
 	TasksOffloaded     int64
 	DuplicatedMessages int64
+
+	JobsSubmitted int64
+	JobsAdmitted  int64
+	JobsRejected  int64
+	JobsCompleted int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the counters.
@@ -124,6 +138,11 @@ func (c *Counters) Snapshot() Snapshot {
 		HeartbeatMisses:    c.HeartbeatMisses.Load(),
 		TasksOffloaded:     c.TasksOffloaded.Load(),
 		DuplicatedMessages: c.DuplicatedMessages.Load(),
+
+		JobsSubmitted: c.JobsSubmitted.Load(),
+		JobsAdmitted:  c.JobsAdmitted.Load(),
+		JobsRejected:  c.JobsRejected.Load(),
+		JobsCompleted: c.JobsCompleted.Load(),
 	}
 }
 
@@ -161,6 +180,10 @@ func (s Snapshot) String() string {
 	}
 	if s.Backpressure > 0 {
 		base += fmt.Sprintf(" backpressure=%d", s.Backpressure)
+	}
+	if s.JobsSubmitted > 0 {
+		base += fmt.Sprintf(" jobs(submitted=%d admitted=%d rejected=%d completed=%d)",
+			s.JobsSubmitted, s.JobsAdmitted, s.JobsRejected, s.JobsCompleted)
 	}
 	if s.MembershipJoins > 0 || s.MembershipDrains > 0 || s.MembershipRejoins > 0 ||
 		s.HeartbeatMisses > 0 || s.TasksOffloaded > 0 {

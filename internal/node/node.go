@@ -10,6 +10,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -192,6 +193,11 @@ func (c *Coordinator) Run(batches []Batch) error {
 			if err := c.retryOutstanding(); err != nil {
 				return err
 			}
+			// Backpressure-shed batches wait in the backlog with nothing
+			// outstanding to retry; the backoff expiring is their cue too.
+			if err := c.pump(); err != nil {
+				return err
+			}
 		}
 	}
 	for p := 1; p < c.Places; p++ {
@@ -367,11 +373,12 @@ func (c *Coordinator) maybeCompleteDrain(p int) error {
 }
 
 // slot returns the first alive, non-draining place at or after preferred
-// (skipping the coordinator) with window capacity left, or -1.
-func (c *Coordinator) slot(preferred int) int {
+// (skipping the coordinator and any place in skip) with window capacity
+// left, or -1.
+func (c *Coordinator) slot(preferred int, skip map[int]bool) int {
 	for try := 0; try < c.Places; try++ {
 		dest := (preferred + try) % c.Places
-		if dest == 0 || !c.alive[dest] || c.draining[dest] {
+		if dest == 0 || !c.alive[dest] || c.draining[dest] || skip[dest] {
 			continue
 		}
 		if len(c.outstanding[dest]) >= c.window() {
@@ -398,8 +405,9 @@ func (c *Coordinator) survivors() bool {
 // *NoSurvivorsError if RunLocal is unset.
 func (c *Coordinator) dispatch(b Batch, preferred int) error {
 	env := &task.Envelope{Name: c.TaskName, Arg: b.Arg, Origin: 0, Class: task.Flexible}
+	var shed map[int]bool
 	for {
-		dest := c.slot(preferred)
+		dest := c.slot(preferred, shed)
 		if dest < 0 {
 			break
 		}
@@ -413,6 +421,21 @@ func (c *Coordinator) dispatch(b Batch, preferred int) error {
 			if err := c.markDown(dest); err != nil {
 				return err
 			}
+			continue
+		}
+		if errors.Is(err, comm.ErrBackpressure) {
+			// A typed shed — the destination's queue is full, not broken.
+			// Retrying the same place immediately is a retry storm; instead
+			// skip it for this dispatch and, if everyone sheds, park the
+			// batch in the backlog for the RetryAfter backoff to re-pump.
+			if c.Counters != nil {
+				c.Counters.Backpressure.Add(1)
+			}
+			c.logf("coordinator: place %d shed batch %d (backpressure), backing off", dest, b.ID)
+			if shed == nil {
+				shed = make(map[int]bool)
+			}
+			shed[dest] = true
 			continue
 		}
 		if err != nil {
@@ -436,7 +459,8 @@ func (c *Coordinator) dispatch(b Batch, preferred int) error {
 
 // pump drains the backlog into freed window slots. Called whenever
 // capacity may have appeared: a result or nack came back, a place
-// joined, or a place went down (its work re-homed elsewhere).
+// joined, a place went down (its work re-homed elsewhere), or the
+// RetryAfter backoff expired after a backpressure shed.
 func (c *Coordinator) pump() error {
 	for len(c.backlog) > 0 {
 		b := c.backlog[0]
@@ -444,7 +468,7 @@ func (c *Coordinator) pump() error {
 			c.backlog = c.backlog[1:] // a re-dispatched twin already finished
 			continue
 		}
-		if c.slot(b.ID) < 0 {
+		if c.slot(b.ID, nil) < 0 {
 			if c.survivors() {
 				return nil // every survivor saturated; wait for results
 			}
@@ -457,9 +481,16 @@ func (c *Coordinator) pump() error {
 			}
 			continue
 		}
+		before := len(c.backlog)
 		c.backlog = c.backlog[1:]
 		if err := c.dispatch(b, b.ID); err != nil {
 			return err
+		}
+		if len(c.backlog) >= before {
+			// dispatch re-parked the batch (every survivor shed it with
+			// backpressure): stop pumping instead of spinning on a queue
+			// that cannot move until the backoff or an inbound event.
+			return nil
 		}
 	}
 	return nil
@@ -555,6 +586,14 @@ type Executor struct {
 	Registry *task.Registry
 	// Run executes one resolved task and returns the reply payload.
 	Run func(name string, arg []byte) ([]byte, error)
+	// Concurrency, when > 1, runs up to that many spawns at once in a
+	// bounded worker pool — concurrent Finish scopes within one place, the
+	// shape a long-lived service executor wants. Run must then be safe for
+	// concurrent use. The default (<= 1) keeps the serial loop, where
+	// CrashAfter fail-stops at an exact batch count; in the pool the
+	// crash/drain knobs trigger on completion order, which is approximate
+	// by nature.
+	Concurrency int
 	// CrashAfter > 0 makes the executor fail-stop (return without a
 	// goodbye) after that many batches — the chaos knob.
 	CrashAfter int
@@ -651,6 +690,9 @@ func (e *Executor) Serve() (int, error) {
 			}
 		}()
 	}
+	if e.Concurrency > 1 {
+		return e.serveConcurrent(reg)
+	}
 	done := 0
 	for m := range e.Node.Inbox() {
 		switch m.Kind {
@@ -713,4 +755,100 @@ func (e *Executor) Serve() (int, error) {
 		}
 	}
 	return done, nil
+}
+
+// errCrashStop signals a CrashAfter fail-stop out of the worker pool.
+var errCrashStop = errors.New("node: crash budget spent")
+
+// serveConcurrent is the Concurrency > 1 serve loop: envelopes are decoded
+// and validated in order on the loop, then executed by up to Concurrency
+// workers, each replying under its own Seq as it finishes. Replies may
+// therefore overtake each other — the coordinator and the service front
+// door both correlate by Seq, never by order.
+func (e *Executor) serveConcurrent(reg *task.Registry) (int, error) {
+	sem := make(chan struct{}, e.Concurrency)
+	errCh := make(chan error, e.Concurrency)
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	finish := func(err error) (int, error) {
+		wg.Wait()
+		if errors.Is(err, errCrashStop) {
+			err = nil // fail-stop: return without a goodbye, like the serial loop
+		}
+		return int(done.Load()), err
+	}
+	for {
+		select {
+		case err := <-errCh:
+			return finish(err)
+		case m, ok := <-e.Node.Inbox():
+			if !ok {
+				return finish(nil)
+			}
+			switch m.Kind {
+			case comm.KindShutdown:
+				n, err := finish(nil)
+				if e.Logf != nil {
+					e.Logf("node %d: done after %d batches", e.Place, n)
+				}
+				return n, err
+			case comm.KindHeartbeat:
+				p, err := member.DecodePayload(m.Payload)
+				if err == nil && p.State == member.Down && !e.draining.Load() &&
+					p.Incarnation >= e.incarnation() {
+					e.inc.Add(1)
+					if e.Logf != nil {
+						e.Logf("node %d: coordinator saw us down, rejoining with incarnation %d", e.Place, e.inc.Load())
+					}
+					e.Node.Send(comm.Message{Kind: comm.KindJoin, To: 0, Payload: e.membershipPayload()})
+				}
+			case comm.KindSpawn:
+				if e.draining.Load() {
+					if err := e.Node.Send(comm.Message{Kind: comm.KindSpawnNack, To: 0, Seq: m.Seq}); err != nil {
+						return finish(err)
+					}
+					continue
+				}
+				env, err := task.DecodeEnvelope(m.Payload)
+				if err != nil {
+					return finish(err)
+				}
+				if _, ok := reg.Lookup(env.Name); !ok {
+					return finish(fmt.Errorf("node %d: unknown remote task %q", e.Place, env.Name))
+				}
+				sem <- struct{}{} // bound the pool; blocks when saturated
+				wg.Add(1)
+				go func(seq uint64, origin int, env *task.Envelope) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					fail := func(err error) {
+						select {
+						case errCh <- err:
+						default: // an earlier error already stops the loop
+						}
+					}
+					reply, err := e.Run(env.Name, env.Arg)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if err := e.Node.Send(comm.Message{Kind: comm.KindSpawnDone, To: origin, Seq: seq, Payload: reply}); err != nil {
+						fail(err)
+						return
+					}
+					n := int(done.Add(1))
+					if e.CrashAfter > 0 && n >= e.CrashAfter {
+						if e.Logf != nil {
+							e.Logf("node %d: fail-stop after %d batches", e.Place, n)
+						}
+						fail(errCrashStop)
+						return
+					}
+					if e.DrainAfter > 0 && n >= e.DrainAfter {
+						e.Drain()
+					}
+				}(m.Seq, env.Origin, env)
+			}
+		}
+	}
 }

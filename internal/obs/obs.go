@@ -118,6 +118,15 @@ const (
 	// KindHeal marks a partition healing or a flapped place recovering.
 	// Arg = the recovering place (-1 for a partition-wide heal).
 	KindHeal
+	// KindJobAdmit marks a service job passing admission control.
+	// Arg = the tenant id.
+	KindJobAdmit
+	// KindJobReject marks a service job nacked by admission control.
+	// Arg = the tenant id.
+	KindJobReject
+	// KindJobDone marks a service job completing and its result being
+	// acked to the submitting client. Arg = the tenant id.
+	KindJobDone
 	numKinds
 )
 
@@ -137,6 +146,9 @@ var kindNames = [...]string{
 	KindDrain:       "drain",
 	KindPartition:   "partition",
 	KindHeal:        "heal",
+	KindJobAdmit:    "job_admit",
+	KindJobReject:   "job_reject",
+	KindJobDone:     "job_done",
 }
 
 // String returns the stable wire name of the kind (used by the native

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,6 +32,7 @@ type Server struct {
 	mu       sync.RWMutex
 	snapshot func() metrics.Snapshot
 	util     func() []float64
+	aux      func(io.Writer)
 	rec      *Recorder
 }
 
@@ -88,6 +90,19 @@ func (s *Server) SetUtilizationSource(fn func() []float64) {
 	s.mu.Unlock()
 }
 
+// SetAuxMetrics installs an extra exposition writer appended to
+// /metrics after the counter snapshot — the hook a subsystem with its
+// own metric families (e.g. per-tenant service stats) uses to ride the
+// same scrape. Nil-safe on a nil server.
+func (s *Server) SetAuxMetrics(fn func(io.Writer)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.aux = fn
+	s.mu.Unlock()
+}
+
 // SetRecorder installs the recorder behind /trace. Nil-safe on a nil
 // server.
 func (s *Server) SetRecorder(rec *Recorder) {
@@ -101,18 +116,23 @@ func (s *Server) SetRecorder(rec *Recorder) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	snapshot, util := s.snapshot, s.util
+	snapshot, util, aux := s.snapshot, s.util, s.aux
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if snapshot == nil {
+	if snapshot == nil && aux == nil {
 		fmt.Fprintln(w, "# distws: no metrics source attached yet")
 		return
 	}
-	if err := snapshot().WritePrometheus(w); err != nil {
-		return
+	if snapshot != nil {
+		if err := snapshot().WritePrometheus(w); err != nil {
+			return
+		}
 	}
 	if util != nil {
 		metrics.WriteUtilizationPrometheus(w, util())
+	}
+	if aux != nil {
+		aux(w)
 	}
 }
 

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SimTenant is one tenant's traffic model in the service simulator.
+type SimTenant struct {
+	// Tenant is the tenant id.
+	Tenant uint32
+	// Config is the tenant's admission/fair-share contract.
+	Config TenantConfig
+	// ArrivalHz is the Poisson submission rate.
+	ArrivalHz float64
+	// MeanServiceNS is the mean of the exponential service-time draw.
+	MeanServiceNS int64
+	// Priority tags every simulated job.
+	Priority uint8
+}
+
+// SimChurn changes the executor capacity mid-run: positive DeltaSlots
+// models places joining, negative models graceful drains (running jobs
+// finish; the capacity loss lands as they complete).
+type SimChurn struct {
+	AtNS       int64
+	DeltaSlots int
+}
+
+// SimConfig is one deterministic service simulation: virtual time only,
+// all randomness from Seed, so equal configs produce bit-identical
+// reports — the property the fixed-seed soak pins.
+type SimConfig struct {
+	Seed int64
+	// Slots is the initial executor capacity (concurrent jobs).
+	Slots int
+	// Quantum scales the DRR credit per visit (0 = 1).
+	Quantum int
+	// DurationNS bounds the arrival processes; the run then drains.
+	DurationNS int64
+	Tenants    []SimTenant
+	Churn      []SimChurn
+}
+
+// simEvent is one heap entry; seq breaks time ties deterministically.
+type simEvent struct {
+	t    int64
+	seq  uint64
+	kind int  // 0 arrival, 1 completion, 2 churn
+	idx  int  // tenant index (arrival) or churn index
+	item Item // completion only
+}
+
+type simHeap []simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *simHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// SimTenantResult is one tenant's simulated outcome.
+type SimTenantResult struct {
+	Tenant                                   uint32
+	Weight                                   int
+	Submitted, Admitted, Rejected, Completed int64
+	// P50/P99/P999 are virtual-time latency quantile bounds (admission to
+	// completion), straight from the log2 histogram.
+	P50, P99, P999 int64
+	// MeanWaitNS is the mean admission-to-dispatch wait.
+	MeanWaitNS int64
+}
+
+// SimReport is a deterministic function of its SimConfig.
+type SimReport struct {
+	Config  SimConfig
+	Tenants []SimTenantResult // ascending tenant id
+	// EndNS is the virtual instant the last job completed.
+	EndNS int64
+	// Jain is the fairness index over completed-per-weight shares.
+	Jain float64
+}
+
+// Format renders the report; equal reports render equal strings, which is
+// how the soak compares two runs bit for bit.
+func (r *SimReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: seed=%d slots=%d horizon=%s end=%s jain=%.6f\n",
+		r.Config.Seed, r.Config.Slots,
+		time.Duration(r.Config.DurationNS), time.Duration(r.EndNS), r.Jain)
+	fmt.Fprintf(&b, "%8s %6s %9s %9s %9s %9s %12s %12s %12s %12s\n",
+		"tenant", "weight", "submit", "admit", "reject", "complete", "p50", "p99", "p999", "wait")
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		fmt.Fprintf(&b, "%8d %6d %9d %9d %9d %9d %12s %12s %12s %12s\n",
+			t.Tenant, t.Weight, t.Submitted, t.Admitted, t.Rejected, t.Completed,
+			time.Duration(t.P50), time.Duration(t.P99), time.Duration(t.P999),
+			time.Duration(t.MeanWaitNS))
+	}
+	return b.String()
+}
+
+// Simulate runs the service model on virtual time: Poisson arrivals per
+// tenant feed the real Admission and FairShare code (the same structs the
+// live server runs), jobs occupy executor slots for exponential service
+// times, and churn events grow or shrink capacity mid-stream. Everything
+// derives from cfg.Seed — no wall clock, no map-order dependence — so the
+// report is bit-identical across runs.
+func Simulate(cfg SimConfig) (*SimReport, error) {
+	if cfg.Slots < 1 {
+		return nil, fmt.Errorf("service: simulate with %d slots, want >= 1", cfg.Slots)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("service: simulate with no tenants")
+	}
+	if cfg.DurationNS <= 0 {
+		return nil, fmt.Errorf("service: simulate with horizon %d, want > 0", cfg.DurationNS)
+	}
+	tcfg := make(map[uint32]TenantConfig, len(cfg.Tenants))
+	for _, t := range cfg.Tenants {
+		tcfg[t.Tenant] = t.Config
+	}
+	adm := NewAdmission(tcfg)
+	fs := NewFairShare(cfg.Quantum, adm.Weights())
+	stats := NewStats()
+
+	// Independent arrival streams and one service-time stream: dispatch
+	// order is deterministic, so drawing service times at dispatch is too.
+	arrival := make([]*rand.Rand, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		arrival[i] = rand.New(rand.NewSource(cfg.Seed + int64(t.Tenant)))
+	}
+	svc := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+
+	var h simHeap
+	var seq uint64
+	push := func(e simEvent) {
+		seq++
+		e.seq = seq
+		heap.Push(&h, e)
+	}
+	for i, t := range cfg.Tenants {
+		if t.ArrivalHz <= 0 {
+			return nil, fmt.Errorf("service: tenant %d arrival rate %g, want > 0", t.Tenant, t.ArrivalHz)
+		}
+		push(simEvent{t: int64(arrival[i].ExpFloat64() / t.ArrivalHz * 1e9), kind: 0, idx: i})
+	}
+	for i, c := range cfg.Churn {
+		push(simEvent{t: c.AtNS, kind: 2, idx: i})
+	}
+
+	slots, busy := cfg.Slots, 0
+	var now, endNS int64
+	meanSvc := make(map[uint32]int64, len(cfg.Tenants))
+	for _, t := range cfg.Tenants {
+		m := t.MeanServiceNS
+		if m < 1 {
+			m = 1
+		}
+		meanSvc[t.Tenant] = m
+	}
+	pump := func() {
+		for busy < slots {
+			it, ok := fs.Pop()
+			if !ok {
+				return
+			}
+			busy++
+			stats.Tenant(it.Job.Tenant).QueueWait.Record(now - it.AdmittedNS)
+			d := int64(svc.ExpFloat64() * float64(meanSvc[it.Job.Tenant]))
+			if d < 1 {
+				d = 1
+			}
+			push(simEvent{t: now + d, kind: 1, item: it})
+		}
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(simEvent)
+		now = e.t
+		switch e.kind {
+		case 0: // arrival
+			t := cfg.Tenants[e.idx]
+			st := stats.Tenant(t.Tenant)
+			st.Submitted.Add(1)
+			if err := adm.Admit(t.Tenant, now); err != nil {
+				st.Rejected.Add(1)
+			} else {
+				st.Admitted.Add(1)
+				fs.Push(t.Tenant, Item{Job: Job{Tenant: t.Tenant, Priority: t.Priority}, AdmittedNS: now})
+				pump()
+			}
+			next := now + int64(arrival[e.idx].ExpFloat64()/t.ArrivalHz*1e9)
+			if next < cfg.DurationNS {
+				push(simEvent{t: next, kind: 0, idx: e.idx})
+			}
+		case 1: // completion
+			busy--
+			adm.Complete(e.item.Job.Tenant)
+			st := stats.Tenant(e.item.Job.Tenant)
+			st.Completed.Add(1)
+			st.Latency.Record(now - e.item.AdmittedNS)
+			endNS = now
+			pump()
+		case 2: // churn
+			slots += cfg.Churn[e.idx].DeltaSlots
+			if slots < 1 {
+				slots = 1 // the cluster never loses its last slot
+			}
+			pump()
+		}
+	}
+	if fs.Len() != 0 {
+		return nil, fmt.Errorf("service: simulation ended with %d jobs stranded", fs.Len())
+	}
+
+	report := &SimReport{Config: cfg, EndNS: endNS}
+	ids := make([]uint32, 0, len(cfg.Tenants))
+	weights := adm.Weights()
+	for _, t := range cfg.Tenants {
+		ids = append(ids, t.Tenant)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	shares := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		st := stats.Tenant(id)
+		report.Tenants = append(report.Tenants, SimTenantResult{
+			Tenant:     id,
+			Weight:     weights[id],
+			Submitted:  st.Submitted.Load(),
+			Admitted:   st.Admitted.Load(),
+			Rejected:   st.Rejected.Load(),
+			Completed:  st.Completed.Load(),
+			P50:        st.Latency.Quantile(0.5),
+			P99:        st.Latency.Quantile(0.99),
+			P999:       st.Latency.Quantile(0.999),
+			MeanWaitNS: st.QueueWait.Mean(),
+		})
+		shares = append(shares, float64(st.Completed.Load())/float64(weights[id]))
+	}
+	report.Jain = JainIndex(shares)
+	return report, nil
+}

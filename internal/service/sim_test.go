@@ -1,0 +1,98 @@
+package service
+
+import (
+	"math"
+	"testing"
+)
+
+// simSoakConfig is a saturated two-tenant service with mid-run churn:
+// capacity drops by two slots at 0.5s (drain) and recovers at 1s (join).
+func simSoakConfig(seed int64) SimConfig {
+	return SimConfig{
+		Seed:       seed,
+		Slots:      4,
+		DurationNS: 2_000_000_000,
+		Tenants: []SimTenant{
+			{Tenant: 1, Config: TenantConfig{Weight: 1, MaxInFlight: 32},
+				ArrivalHz: 5000, MeanServiceNS: 1_000_000},
+			{Tenant: 2, Config: TenantConfig{Weight: 3, MaxInFlight: 32},
+				ArrivalHz: 5000, MeanServiceNS: 1_000_000},
+		},
+		Churn: []SimChurn{
+			{AtNS: 500_000_000, DeltaSlots: -2},
+			{AtNS: 1_000_000_000, DeltaSlots: 2},
+		},
+	}
+}
+
+// TestSimulateDeterministic pins the fixed-seed contract: two runs of the
+// same config render bit-identical reports, and a different seed does not.
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(simSoakConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(simSoakConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatalf("fixed-seed sim is nondeterministic:\n%s\n%s", a.Format(), b.Format())
+	}
+	other, err := Simulate(simSoakConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() == other.Format() {
+		t.Fatalf("different seeds produced identical reports — seed unused?")
+	}
+}
+
+// TestSimulateAccounting pins conservation and saturation behavior: every
+// submission is admitted or rejected, every admitted job completes, the
+// quota generates rejections under overload, and the weighted tenant
+// completes proportionally more.
+func TestSimulateAccounting(t *testing.T) {
+	r, err := Simulate(simSoakConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range r.Tenants {
+		if tr.Admitted+tr.Rejected != tr.Submitted {
+			t.Errorf("tenant %d: admitted %d + rejected %d != submitted %d",
+				tr.Tenant, tr.Admitted, tr.Rejected, tr.Submitted)
+		}
+		if tr.Completed != tr.Admitted {
+			t.Errorf("tenant %d: completed %d != admitted %d", tr.Tenant, tr.Completed, tr.Admitted)
+		}
+		if tr.Rejected == 0 {
+			t.Errorf("tenant %d: no rejections under 2.5x overload", tr.Tenant)
+		}
+		if tr.P50 > tr.P99 || tr.P99 > tr.P999 {
+			t.Errorf("tenant %d: quantiles not monotone: %d/%d/%d", tr.Tenant, tr.P50, tr.P99, tr.P999)
+		}
+	}
+	// At saturation the DRR split tracks the weights: completed-per-weight
+	// shares are near-equal, so Jain's index approaches 1 and tenant 1's
+	// share of completions stays within 10% of its 1/4 weight fraction.
+	if r.Jain < 0.95 {
+		t.Errorf("Jain fairness %v under saturation, want >= 0.95\n%s", r.Jain, r.Format())
+	}
+	t1, t2 := r.Tenants[0], r.Tenants[1]
+	share := float64(t1.Completed) / float64(t1.Completed+t2.Completed)
+	if math.Abs(share-0.25)/0.25 > 0.10 {
+		t.Errorf("tenant 1 completion share %.3f, want 0.25 ±10%%\n%s", share, r.Format())
+	}
+}
+
+// TestSimulateRejectsBadConfig pins the config validation.
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(SimConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := simSoakConfig(1)
+	cfg.Tenants[0].ArrivalHz = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestJobRoundTrip pins the job frame codec on representative jobs.
+func TestJobRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{},
+		{Tenant: 7, ID: 42, Priority: 3, DeadlineNS: 1 << 40, Name: "svc.spin", Arg: []byte{1, 2, 3}},
+		{Tenant: ^uint32(0), ID: ^uint64(0), Priority: 255, DeadlineNS: -1, Name: "x"},
+		{Name: string(bytes.Repeat([]byte("n"), MaxTaskName)), Arg: bytes.Repeat([]byte{9}, 4096)},
+	}
+	for i, j := range jobs {
+		got, err := DecodeJob(AppendJob(nil, j))
+		if err != nil {
+			t.Fatalf("job %d: decode: %v", i, err)
+		}
+		if got.Tenant != j.Tenant || got.ID != j.ID || got.Priority != j.Priority ||
+			got.DeadlineNS != j.DeadlineNS || got.Name != j.Name || !bytes.Equal(got.Arg, j.Arg) {
+			t.Fatalf("job %d: round trip %+v -> %+v", i, j, got)
+		}
+	}
+}
+
+// TestJobDecodeRejects pins the typed failure on malformed job frames.
+func TestJobDecodeRejects(t *testing.T) {
+	good := AppendJob(nil, Job{Tenant: 1, ID: 2, Name: "t", Arg: []byte{3}})
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": good[:jobHeaderLen-1],
+		"version":   append([]byte{99}, good[1:]...),
+		"name-len":  append(append([]byte{}, good[:22]...), 0xFF, 0xFF), // claims 65535-byte name
+	}
+	for name, b := range cases {
+		if _, err := DecodeJob(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+// TestReplyRoundTrip pins the reply frame codec.
+func TestReplyRoundTrip(t *testing.T) {
+	replies := []Reply{
+		{},
+		{Tenant: 9, ID: 77, Code: OK, Result: []byte("out")},
+		{Tenant: 1, ID: 2, Code: NackRate, RetryAfterNS: 5_000_000},
+		{Code: NackDeadline, RetryAfterNS: -1},
+	}
+	for i, r := range replies {
+		got, err := DecodeReply(AppendReply(nil, r))
+		if err != nil {
+			t.Fatalf("reply %d: decode: %v", i, err)
+		}
+		if got.Tenant != r.Tenant || got.ID != r.ID || got.Code != r.Code ||
+			got.RetryAfterNS != r.RetryAfterNS || !bytes.Equal(got.Result, r.Result) {
+			t.Fatalf("reply %d: round trip %+v -> %+v", i, r, got)
+		}
+	}
+	bad := AppendReply(nil, Reply{})
+	bad[1] = byte(numNackCodes)
+	if _, err := DecodeReply(bad); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unknown code: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// FuzzServiceFrame shakes both service codecs with arbitrary bytes: any
+// input must either fail with a typed error or round-trip identically
+// after re-encoding — and never panic (every submit payload crosses
+// DecodeJob with network-controlled bytes).
+func FuzzServiceFrame(f *testing.F) {
+	f.Add(AppendJob(nil, Job{Tenant: 3, ID: 9, Priority: 1, DeadlineNS: 1e9, Name: "svc.spin", Arg: []byte{4, 5}}))
+	f.Add(AppendReply(nil, Reply{Tenant: 3, ID: 9, Code: NackQuota, RetryAfterNS: 77}))
+	f.Add([]byte{frameVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if j, err := DecodeJob(data); err == nil {
+			again, err := DecodeJob(AppendJob(nil, j))
+			if err != nil {
+				t.Fatalf("re-decode job: %v", err)
+			}
+			if again.Tenant != j.Tenant || again.ID != j.ID || again.Priority != j.Priority ||
+				again.DeadlineNS != j.DeadlineNS || again.Name != j.Name || !bytes.Equal(again.Arg, j.Arg) {
+				t.Fatalf("job not canonical: %+v -> %+v", j, again)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("job decode error %v is not ErrBadFrame", err)
+		}
+		if r, err := DecodeReply(data); err == nil {
+			again, err := DecodeReply(AppendReply(nil, r))
+			if err != nil {
+				t.Fatalf("re-decode reply: %v", err)
+			}
+			if again.Tenant != r.Tenant || again.ID != r.ID || again.Code != r.Code ||
+				again.RetryAfterNS != r.RetryAfterNS || !bytes.Equal(again.Result, r.Result) {
+				t.Fatalf("reply not canonical: %+v -> %+v", r, again)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("reply decode error %v is not ErrBadFrame", err)
+		}
+	})
+}

@@ -132,6 +132,11 @@ type Envelope struct {
 	Origin int   // spawning place
 	Class  Class // locality classification
 	Blocks []uint64
+	// Tenant tags the task's provenance in a multi-tenant service
+	// (internal/service): every task a job spawns carries its tenant id,
+	// so concurrent tenants' work stays attributable end to end. Zero for
+	// single-tenant batch runs.
+	Tenant uint32
 }
 
 // Encode serializes the envelope with gob.

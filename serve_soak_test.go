@@ -1,0 +1,260 @@
+// Service soak: the elastic multi-tenant task service end to end on a
+// real TCP mesh — three tenants streaming jobs from two client seats
+// through admission control and fair-share dispatch, with an executor
+// joining and another draining mid-run — plus the fixed-seed virtual
+// time simulation rerun and compared bit for bit.
+package distws_test
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"distws/internal/comm"
+	"distws/internal/metrics"
+	"distws/internal/node"
+	"distws/internal/service"
+	"distws/internal/task"
+)
+
+// TestServeMeshSoak drives sustained three-tenant load at a 4-place
+// service cluster (front door + three executors, one absent at start)
+// over real sockets. Executor 1 drains gracefully mid-run, executor 3
+// joins mid-run, tenant 3's in-flight quota of 1 forces admission
+// rejections, and every admitted job must complete exactly once.
+func TestServeMeshSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second service soak")
+	}
+
+	const (
+		places = 4 // compute: front door + 3 executors
+		seats  = 6 // + 2 client seats
+		hb     = 25 * time.Millisecond
+	)
+	reg := task.NewRegistry()
+	reg.Register("serve.slow", func([]byte) error { return nil })
+
+	addrs := make([]string, seats)
+	lns := make([]net.Listener, seats)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var ctrs metrics.Counters
+	meshes := make([]*comm.TCPMesh, seats)
+	for i := range meshes {
+		opts := comm.MeshOptions{Listener: lns[i]}
+		if i == 0 {
+			opts.Counters = &ctrs
+		}
+		m, err := comm.ListenMeshTCP(addrs, i, opts)
+		if err != nil {
+			t.Fatalf("mesh %d: %v", i, err)
+		}
+		meshes[i] = m
+	}
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+
+	slow := func(_ string, arg []byte) ([]byte, error) {
+		time.Sleep(8 * time.Millisecond)
+		return arg, nil
+	}
+	exDone := make(chan error, places-1)
+	// Executor 1 drains gracefully after 25 jobs; executor 2 serves
+	// throughout; executor 3 is absent at start and joins at 150ms.
+	go func() {
+		ex := &node.Executor{Node: meshes[1], Place: 1, Registry: reg,
+			Run: slow, Concurrency: 2, Heartbeat: hb, DrainAfter: 25}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+	go func() {
+		ex := &node.Executor{Node: meshes[2], Place: 2, Registry: reg,
+			Run: slow, Concurrency: 2, Heartbeat: hb}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ex := &node.Executor{Node: meshes[3], Place: 3, Registry: reg,
+			Run: slow, Concurrency: 2, Heartbeat: hb, Announce: true}
+		_, err := ex.Serve()
+		exDone <- err
+	}()
+
+	stats := service.NewStats()
+	srv := &service.Server{
+		Node:   meshes[0],
+		Places: places,
+		Tenants: map[uint32]service.TenantConfig{
+			1: {Weight: 1},
+			2: {Weight: 3},
+			3: {Weight: 1, MaxInFlight: 1},
+		},
+		Registry:   reg,
+		Counters:   &ctrs,
+		Stats:      stats,
+		RetryAfter: 2 * time.Second,
+		Heartbeat:  hb,
+		Absent:     []int{3},
+		Logf:       t.Logf,
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background()) }()
+
+	// Two client seats stream concurrently: seat 4 carries tenants 1 and
+	// 2 (weighted fair share), seat 5 carries tenant 3, whose four
+	// closed-loop workers against an in-flight quota of 1 force
+	// NackQuota rejections.
+	arg := make([]byte, 8)
+	binary.BigEndian.PutUint64(arg, 8*uint64(time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	reports := make([]*service.LoadReport, 2)
+	errs := make([]error, 2)
+	run := func(i int, seat int, cfg service.LoadConfig) {
+		defer wg.Done()
+		reports[i], errs[i] = service.RunLoad(ctx, service.NewClient(meshes[seat], 0), cfg)
+	}
+	wg.Add(2)
+	go run(0, 4, service.LoadConfig{Seed: 1, Tenants: []service.TenantLoad{
+		{Tenant: 1, Weight: 1, Clients: 2, Jobs: 80, Task: "serve.slow", Arg: arg},
+		{Tenant: 2, Weight: 3, Clients: 3, Jobs: 120, Task: "serve.slow", Arg: arg},
+	}})
+	go run(1, 5, service.LoadConfig{Seed: 2, Tenants: []service.TenantLoad{
+		{Tenant: 3, Weight: 1, Clients: 4, Jobs: 60, Task: "serve.slow", Arg: arg},
+	}})
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("load run %d: %v", i, err)
+		}
+	}
+
+	// Client-side conservation: every attempt got exactly one verdict.
+	var rejected int64
+	for _, r := range reports {
+		if r.Errors != 0 {
+			t.Fatalf("transport errors during load:\n%s", r.Format())
+		}
+		for i := range r.Tenants {
+			tr := &r.Tenants[i]
+			if tr.Completed+tr.Rejected != tr.Attempted {
+				t.Errorf("tenant %d: %d completed + %d rejected != %d attempted",
+					tr.Tenant, tr.Completed, tr.Rejected, tr.Attempted)
+			}
+			if tr.Completed == 0 {
+				t.Errorf("tenant %d completed nothing", tr.Tenant)
+			}
+			rejected += tr.Rejected
+		}
+	}
+	if rejected == 0 {
+		t.Errorf("tenant 3's quota of 1 generated no admission rejections")
+	}
+
+	// Graceful drain: replies already flowed for everything admitted, so
+	// the drain completes immediately and releases the executors.
+	srv.Drain()
+	select {
+	case err := <-serveDone:
+		if err != service.ErrServerClosed {
+			t.Fatalf("Serve after drain: %v, want ErrServerClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never finished draining")
+	}
+	for i := 0; i < places-1; i++ {
+		select {
+		case err := <-exDone:
+			if err != nil {
+				t.Fatalf("executor: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("executor never shut down")
+		}
+	}
+
+	// Server-side exactly-once through the churn: everything admitted
+	// completed, nothing ran twice, the join and the drain were clean.
+	s := ctrs.Snapshot()
+	if s.JobsAdmitted != s.JobsCompleted {
+		t.Errorf("admitted %d != completed %d", s.JobsAdmitted, s.JobsCompleted)
+	}
+	if s.JobsRejected == 0 {
+		t.Errorf("server counted no rejections")
+	}
+	if s.TasksReExecuted != 0 {
+		t.Errorf("TasksReExecuted = %d: graceful churn re-executed work", s.TasksReExecuted)
+	}
+	if s.PlacesLost != 0 {
+		t.Errorf("PlacesLost = %d, want 0 (no failures staged)", s.PlacesLost)
+	}
+	if s.MembershipJoins != 1 {
+		t.Errorf("MembershipJoins = %d, want 1 (executor 3)", s.MembershipJoins)
+	}
+	if s.MembershipDrains != 1 {
+		t.Errorf("MembershipDrains = %d, want 1 (executor 1)", s.MembershipDrains)
+	}
+	for id := uint32(1); id <= 3; id++ {
+		st := stats.Tenant(id)
+		if st.Admitted.Load() != st.Completed.Load() {
+			t.Errorf("tenant %d: admitted %d != completed %d",
+				id, st.Admitted.Load(), st.Completed.Load())
+		}
+	}
+}
+
+// TestServeSimSoak pins the deterministic half of the soak: the same
+// tenants and churn on virtual time render bit-identical reports under
+// a fixed seed, with admission rejections under overload.
+func TestServeSimSoak(t *testing.T) {
+	cfg := service.SimConfig{
+		Seed:       42,
+		Slots:      4,
+		DurationNS: (1 * time.Second).Nanoseconds(),
+		Tenants: []service.SimTenant{
+			{Tenant: 1, Config: service.TenantConfig{Weight: 1, MaxInFlight: 32},
+				ArrivalHz: 4000, MeanServiceNS: 1_000_000},
+			{Tenant: 2, Config: service.TenantConfig{Weight: 3, MaxInFlight: 32},
+				ArrivalHz: 4000, MeanServiceNS: 1_000_000},
+			{Tenant: 3, Config: service.TenantConfig{Weight: 1, MaxInFlight: 4},
+				ArrivalHz: 4000, MeanServiceNS: 1_000_000},
+		},
+		Churn: []service.SimChurn{
+			{AtNS: (250 * time.Millisecond).Nanoseconds(), DeltaSlots: -2},
+			{AtNS: (500 * time.Millisecond).Nanoseconds(), DeltaSlots: 2},
+		},
+	}
+	a, err := service.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := service.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatalf("fixed-seed service sim is nondeterministic:\n%s\n%s", a.Format(), b.Format())
+	}
+	var rejected int64
+	for _, tr := range a.Tenants {
+		rejected += tr.Rejected
+	}
+	if rejected == 0 {
+		t.Errorf("no rejections under 3x overload:\n%s", a.Format())
+	}
+}
