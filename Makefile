@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke fuzz-smoke chaos soak serve-soak
+.PHONY: all build test race vet check bench bench-smoke fuzz-smoke deque-parity chaos soak serve-soak
 
 all: check
 
@@ -22,11 +22,30 @@ vet:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# One-iteration run of the simulator hot-path benchmark: catches the hot
-# path regressing to a non-compiling, panicking, or racy state without
-# paying for a full measurement.
+# One-iteration run of the simulator hot-path benchmark plus the
+# shared-queue contention study (which asserts the relaxed deque's >= 2x
+# steal-throughput bound at 512 workers inline): catches the hot path
+# regressing to a non-compiling, panicking, racy, or slow-queue state
+# without paying for a full measurement.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=BenchmarkSimulator128Workers -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator128Workers|BenchmarkContentionStudy' -benchtime=1x .
+
+# Cross-kind parity gate: sim.Options.Deque only models synchronization
+# cost the paper-faithful configuration never charges, so every
+# deterministic exhibit must be byte-identical whatever -deque selects.
+# fig4 is excluded (it reports host wall clock) and the trailing
+# "regenerated ..." line is stripped (it carries elapsed time). A diff
+# here means the deque kind leaked into paper results.
+PARITY_EXHIBITS := fig3,fig5,table1,table2,table3,fig6,fig7,granularity,uts,adaptive,contention
+deque-parity: build
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	for k in mutex chaselev relaxed; do \
+		$(GO) run ./cmd/distws-experiments -deque $$k -only $(PARITY_EXHIBITS) \
+			| grep -v '^regenerated ' > "$$dir/$$k.txt"; \
+	done; \
+	cmp "$$dir/mutex.txt" "$$dir/chaselev.txt"; \
+	cmp "$$dir/mutex.txt" "$$dir/relaxed.txt"; \
+	echo "deque parity OK: exhibits byte-identical across mutex, chaselev, relaxed"
 
 # 30-second coverage-guided shakes of the binary wire codecs: the TCP
 # transport frame and the service job/reply frames both face untrusted
@@ -37,7 +56,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzServiceFrame -fuzztime=30s ./internal/service
 
 # The gate a change must pass before merging.
-check: build vet test race bench-smoke fuzz-smoke
+check: build vet test race bench-smoke deque-parity fuzz-smoke
 
 # Full measurement: refreshes the machine-readable perf baseline
 # (BENCH_sim.json) and prints the per-exhibit Go benchmarks, including the

@@ -166,6 +166,28 @@ func BenchmarkUTSComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkContentionStudy regenerates the shared-queue contention study
+// (mutex vs Chase–Lev vs relaxed receiver-initiated at 128–1024 virtual
+// workers with the lock simulated) and asserts the PR's acceptance bound
+// inline, so the bench-smoke gate catches both a harness breakage and a
+// throughput regression below 2x in one iteration.
+func BenchmarkContentionStudy(b *testing.B) {
+	r := runner()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.ContentionStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Workers == 512 && row.RelaxedOverMutex < 2 {
+				b.Fatalf("relaxed/mutex steal throughput at 512 workers = %.2fx, want >= 2x",
+					row.RelaxedOverMutex)
+			}
+		}
+	}
+}
+
 // BenchmarkSimulator128Workers measures raw simulator throughput on the
 // cached DMG trace at full cluster width. Allocations per run and
 // discrete-event throughput are reported so hot-path regressions (a
@@ -297,19 +319,24 @@ func BenchmarkEvaluationHarness(b *testing.B) {
 }
 
 // BenchmarkRuntimeFanout measures the real goroutine runtime: spawning
-// and executing a fan-out of flexible tasks across 4 places, with the
-// default mutex-guarded private deques and with lock-free Chase–Lev
-// deques (§V's steal-interruption trade-off).
+// and executing a fan-out of flexible tasks across 4 places, under each
+// worker-queue kind — mutex-guarded (default), lock-free Chase–Lev (§V's
+// steal-interruption trade-off), and fence-free relaxed queues with
+// receiver-initiated stealing.
 func BenchmarkRuntimeFanout(b *testing.B) {
 	for _, mode := range []struct {
-		name     string
-		lockFree bool
-	}{{"mutex-deques", false}, {"chaselev-deques", true}} {
+		name string
+		kind distws.DequeKind
+	}{
+		{"mutex-deques", distws.DequeMutex},
+		{"chaselev-deques", distws.DequeChaseLev},
+		{"relaxed-deques", distws.DequeRelaxed},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			rt, err := distws.New(distws.Config{
-				Cluster:        distws.Cluster{Places: 4, WorkersPerPlace: 2},
-				Policy:         distws.DistWS,
-				LockFreeDeques: mode.lockFree,
+				Cluster: distws.Cluster{Places: 4, WorkersPerPlace: 2},
+				Policy:  distws.DistWS,
+				Deque:   mode.kind,
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -16,12 +16,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"distws/internal/apps/suite"
 	"distws/internal/cliutil"
 	"distws/internal/comm"
+	"distws/internal/deque"
 	"distws/internal/expt"
 	"distws/internal/obs"
 	"distws/internal/sched"
@@ -51,20 +54,21 @@ type report struct {
 	Simulator simBench `json:"simulator"`
 
 	// SimulatorTraced is the same run with an obs.Recorder attached, and
-	// TracingOverheadPct the ns/op cost of recording relative to Simulator.
-	// The acceptance budget lives on the recorder-off path (Simulator must
-	// not regress); the traced numbers document what turning tracing on
-	// costs.
+	// TracingOverheadPct the cost of recording relative to Simulator —
+	// the median of the per-round ns/op ratios from the interleaved
+	// sampling (see measurePhases/medianOverheadPct). The acceptance
+	// budget lives on the recorder-off path (Simulator must not regress);
+	// the traced numbers document what turning tracing on costs.
 	SimulatorTraced    simBench `json:"simulator_traced"`
 	TracingOverheadPct float64  `json:"tracing_overhead_pct"`
 
 	// SimulatorAdaptive is the same run under the adaptive policy (a
 	// fresh controller per iteration: interning, per-completion
 	// ObserveExec, per-probe ObserveSteal, controller-ordered victim
-	// sweeps), and AdaptiveOverheadPct its ns/op cost relative to
-	// Simulator. The budget mirrors tracing: the controller-off path
-	// must not regress; these numbers document what `-policy adaptive`
-	// costs.
+	// sweeps), and AdaptiveOverheadPct its cost relative to Simulator,
+	// estimated like TracingOverheadPct. The budget mirrors tracing: the
+	// controller-off path must not regress; these numbers document what
+	// `-policy adaptive` costs.
 	SimulatorAdaptive   simBench `json:"simulator_adaptive"`
 	AdaptiveOverheadPct float64  `json:"adaptive_overhead_pct"`
 
@@ -80,6 +84,28 @@ type report struct {
 	// probe and a 64-byte spawn). The codec must hold a >= 2x advantage on
 	// at least one axis.
 	WireCodec codecBench `json:"wire_codec"`
+
+	// Contention is the shared-queue contention study
+	// (expt.ContentionStudy): fine-grained flexible tasks homed at one
+	// place, the lock simulated (sim.Options.LockContention), one point
+	// per worker count. StealsPerSec is tasks acquired by thieves per
+	// virtual second under each deque kind. The acceptance gate this file
+	// records: relaxed (fence-free + receiver-initiated) holds at least
+	// 2x the mutex deque's steal throughput at 512 workers
+	// (TestContentionStudyRelaxedWins pins the same bound).
+	Contention128  contentionPoint `json:"contention_128_workers"`
+	Contention256  contentionPoint `json:"contention_256_workers"`
+	Contention512  contentionPoint `json:"contention_512_workers"`
+	Contention1024 contentionPoint `json:"contention_1024_workers"`
+}
+
+// contentionPoint is one worker count of the contention study in
+// BENCH_sim.json.
+type contentionPoint struct {
+	MutexStealsPerSec    float64 `json:"mutex_steals_per_sec"`
+	ChaseLevStealsPerSec float64 `json:"chaselev_steals_per_sec"`
+	RelaxedStealsPerSec  float64 `json:"relaxed_steals_per_sec"`
+	RelaxedOverMutex     float64 `json:"relaxed_over_mutex"`
 }
 
 // codecBench is the binary-codec-vs-gob comparison in BENCH_sim.json.
@@ -171,11 +197,101 @@ func main() {
 	}
 }
 
+// measureReps is how many rounds the hot-path phases are sampled.
+const measureReps = 5
+
+// measurePhases benchmarks the given phases round-robin for measureReps
+// rounds — round r runs phase 0, then phase 1, ... before round r+1
+// begins — and returns each phase's best (lowest ns/op) result. A single
+// testing.Benchmark invocation is one noisy sample on a shared host;
+// interference (scheduler preemption, a neighbour's cache pressure) is
+// strictly additive, so the minimum across rounds is the tightest
+// estimate of a phase's own cost. Each sample starts from a collected
+// heap so no phase pays another's GC debt.
+func measurePhases(fns ...func(b *testing.B)) []testing.BenchmarkResult {
+	best := make([]testing.BenchmarkResult, len(fns))
+	for rep := 0; rep < measureReps; rep++ {
+		for pi, fn := range fns {
+			runtime.GC()
+			r := testing.Benchmark(fn)
+			if rep == 0 || r.NsPerOp() < best[pi].NsPerOp() {
+				best[pi] = r
+			}
+		}
+	}
+	return best
+}
+
+// pairAlternations and pairReps size the paired overhead sampler: one
+// rep strictly alternates pairAlternations base/phase run pairs, and the
+// reported overhead is the median across pairReps reps.
+const (
+	pairAlternations = 120
+	pairReps         = 7
+)
+
+// pairedOverheadPct estimates how much slower phase is than base, in
+// percent. The overhead metrics divide two measurements, which makes
+// them far more interference-sensitive than the ns/op numbers above: on
+// a shared host the available CPU drifts on roughly the timescale of one
+// testing.Benchmark sample, so dividing two such samples — even adjacent
+// ones — once reported a 27% adaptive overhead whose true cost was under
+// 10%. Alternating single runs instead exposes both sides to
+// near-identical interference; each rep compares the two sides' summed
+// times, and the median across reps discards the reps a load spike still
+// managed to split unevenly.
+//
+// The order within a pair flips every iteration (base–phase, then
+// phase–base). This is load-bearing: at this workload's allocation rate
+// the garbage collector fires once every two runs, and with a fixed
+// order that period aliases exactly onto the pair so one side absorbs
+// every GC cycle — a fixed-order null experiment (base against itself)
+// read a stable −16%. With the flip the null reads ≈0 and
+// swapped-operand runs agree with forward ones.
+func pairedOverheadPct(base, phase func() error) (float64, error) {
+	// Warm both paths so neither side's first-run costs land in rep 0.
+	if err := base(); err != nil {
+		return 0, err
+	}
+	if err := phase(); err != nil {
+		return 0, err
+	}
+	ratios := make([]float64, 0, pairReps)
+	for rep := 0; rep < pairReps; rep++ {
+		runtime.GC()
+		var tb, tp time.Duration
+		for i := 0; i < pairAlternations; i++ {
+			first, second := base, phase
+			if i%2 == 1 {
+				first, second = phase, base
+			}
+			t0 := time.Now()
+			if err := first(); err != nil {
+				return 0, err
+			}
+			t1 := time.Now()
+			if err := second(); err != nil {
+				return 0, err
+			}
+			d1, d2 := t1.Sub(t0), time.Since(t1)
+			if i%2 == 1 {
+				d1, d2 = d2, d1
+			}
+			tb += d1
+			tp += d2
+		}
+		ratios = append(ratios, 100*float64(tp-tb)/float64(tb))
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2], nil
+}
+
 func run() error {
 	var (
 		out   = flag.String("out", "", "write JSON to `file` (default stdout)")
 		seed  = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale = flag.Int("scale", 1, "workload scale multiplier")
+		dq    = flag.String("deque", "mutex", "simulated worker-queue kind for the hot-path benchmarks: "+strings.Join(deque.KindNames(), ", "))
 	)
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -183,6 +299,11 @@ func run() error {
 	if cliutil.VersionRequested() {
 		cliutil.PrintVersion(os.Stdout, "distws-bench")
 		return nil
+	}
+
+	dk, err := deque.ParseKind(*dq)
+	if err != nil {
+		return err
 	}
 
 	if err := diag.Start(); err != nil {
@@ -211,21 +332,49 @@ func run() error {
 	// process costs (page faults, branch predictor, allocator growth) and
 	// the overhead percentages below would compare a cold baseline
 	// against warm variants.
-	if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed}); err != nil {
+	if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Deque: dk}); err != nil {
 		return err
 	}
+	// The three phases — plain, traced, adaptive — are sampled
+	// interleaved via measurePhases for their ns/op and allocation
+	// profiles; the overhead percentages come from the paired sampler
+	// below instead (see pairedOverheadPct for why). One recorder across
+	// the traced phase's iterations: Configure reuses its rings for
+	// repeated same-shape runs, so that phase measures steady-state
+	// recording cost, with the one-time ring allocation amortized like
+	// any warm-up.
 	var events, runs int64
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed})
-			if err != nil {
-				b.Fatal(err)
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	best := measurePhases(
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Deque: dk})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				runs++
 			}
-			events += res.Events
-			runs++
-		}
-	})
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Deque: dk, Recorder: rec}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(g, r.Cluster, sched.Adaptive, sim.Options{Seed: *seed, Deque: dk}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	)
+	br, bt, ba := best[0], best[1], best[2]
 	rep.Simulator = simBench{
 		Name:        "Simulator128Workers/dmg/DistWS",
 		Iterations:  br.N,
@@ -240,19 +389,6 @@ func run() error {
 		}
 	}
 
-	// The same run with event recording on. One recorder across
-	// iterations: Configure reuses its rings for repeated same-shape
-	// runs, so this measures steady-state recording cost, with the
-	// one-time ring allocation amortized like any warm-up.
-	rec := obs.NewRecorder(obs.RecorderOptions{})
-	bt := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Recorder: rec}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
 	rep.SimulatorTraced = simBench{
 		Name:        "Simulator128Workers/dmg/DistWS/traced",
 		Iterations:  bt.N,
@@ -260,19 +396,6 @@ func run() error {
 		AllocsPerOp: bt.AllocsPerOp(),
 		BytesPerOp:  bt.AllocedBytesPerOp(),
 	}
-	if base := rep.Simulator.NsPerOp; base > 0 {
-		rep.TracingOverheadPct = 100 * float64(bt.NsPerOp()-base) / float64(base)
-	}
-
-	// The same run under the adaptive policy (controller on).
-	ba := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(g, r.Cluster, sched.Adaptive, sim.Options{Seed: *seed}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
 	rep.SimulatorAdaptive = simBench{
 		Name:        "Simulator128Workers/dmg/Adaptive",
 		Iterations:  ba.N,
@@ -280,8 +403,24 @@ func run() error {
 		AllocsPerOp: ba.AllocsPerOp(),
 		BytesPerOp:  ba.AllocedBytesPerOp(),
 	}
-	if base := rep.Simulator.NsPerOp; base > 0 {
-		rep.AdaptiveOverheadPct = 100 * float64(ba.NsPerOp()-base) / float64(base)
+	// Overhead ratios from the paired sampler (see pairedOverheadPct).
+	baseRun := func() error {
+		_, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Deque: dk})
+		return err
+	}
+	rep.TracingOverheadPct, err = pairedOverheadPct(baseRun, func() error {
+		_, err := sim.Run(g, r.Cluster, sched.DistWS, sim.Options{Seed: *seed, Deque: dk, Recorder: rec})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.AdaptiveOverheadPct, err = pairedOverheadPct(baseRun, func() error {
+		_, err := sim.Run(g, r.Cluster, sched.Adaptive, sim.Options{Seed: *seed, Deque: dk})
+		return err
+	})
+	if err != nil {
+		return err
 	}
 
 	// Full-evaluation wall clock, sequential then parallel, on fresh
@@ -299,6 +438,31 @@ func run() error {
 
 	if rep.WireCodec, err = benchCodec(); err != nil {
 		return err
+	}
+
+	// Shared-queue contention study: virtual time, so one deterministic
+	// pass per (worker count, kind) cell is the measurement.
+	rows, err := r.ContentionStudy()
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		pt := contentionPoint{
+			MutexStealsPerSec:    row.Cell(deque.KindMutex).StealThroughput,
+			ChaseLevStealsPerSec: row.Cell(deque.KindChaseLev).StealThroughput,
+			RelaxedStealsPerSec:  row.Cell(deque.KindRelaxed).StealThroughput,
+			RelaxedOverMutex:     row.RelaxedOverMutex,
+		}
+		switch row.Workers {
+		case 128:
+			rep.Contention128 = pt
+		case 256:
+			rep.Contention256 = pt
+		case 512:
+			rep.Contention512 = pt
+		case 1024:
+			rep.Contention1024 = pt
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -10,8 +10,15 @@
 //	distws-experiments -only fig5      # one experiment
 //	distws-experiments -scale 4        # 4x larger workloads (slower)
 //	distws-experiments -workers 1      # disable the parallel harness
+//	distws-experiments -deque relaxed  # simulate a different worker-queue kind
+//	distws-experiments -only contention   # the shared-queue contention study
 //	distws-experiments -cpuprofile cpu.prof -memprofile mem.prof
 //	distws-experiments -listen 127.0.0.1:8080   # live /debug/pprof while it runs
+//
+// The paper exhibits are byte-identical whatever -deque selects (the kind
+// only models synchronization cost the paper configuration does not
+// charge; `make check` enforces the parity). Only the contention study
+// separates the kinds.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"distws"
 	"distws/internal/apps/suite"
 	"distws/internal/cliutil"
 	"distws/internal/expt"
@@ -37,8 +45,9 @@ func run() error {
 	var (
 		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale   = flag.Int("scale", 1, "workload scale multiplier")
-		only    = flag.String("only", "", "run one experiment: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts, adaptive")
+		only    = flag.String("only", "", "comma-separated experiments to run: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts, adaptive, contention")
 		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		dq      = flag.String("deque", "mutex", "simulated worker-queue kind: "+strings.Join(distws.DequeKindNames(), ", "))
 	)
 	diag := cliutil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -53,8 +62,14 @@ func run() error {
 	}
 	defer diag.Stop()
 
+	kind, err := distws.ParseDequeKind(*dq)
+	if err != nil {
+		return err
+	}
+
 	r := expt.New(suite.Scale(*scale), *seed)
 	r.Workers = *workers
+	r.Deque = kind
 	type ex struct {
 		name string
 		run  func() (string, error)
@@ -77,12 +92,28 @@ func run() error {
 			rows, err := r.AdaptiveStudy()
 			return expt.RenderAdaptive(rows), err
 		}},
+		{"contention", func() (string, error) {
+			rows, err := r.ContentionStudy()
+			return expt.RenderContention(rows), err
+		}},
+	}
+
+	selected := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, want := range strings.Split(*only, ",") {
+			if strings.EqualFold(strings.TrimSpace(want), name) {
+				return true
+			}
+		}
+		return false
 	}
 
 	start := time.Now()
 	ran := 0
 	for _, e := range experiments {
-		if *only != "" && !strings.EqualFold(*only, e.name) {
+		if !selected(e.name) {
 			continue
 		}
 		out, err := e.run()

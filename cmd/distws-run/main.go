@@ -28,6 +28,7 @@ import (
 	"distws/internal/apps/suite"
 	"distws/internal/cliutil"
 	"distws/internal/core"
+	"distws/internal/deque"
 	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/obs"
@@ -47,6 +48,7 @@ func run() error {
 	var (
 		appName = flag.String("app", "dmg", "application (quicksort, turingring, kmeans, agglom, dmg, dmr, nbody, uts, or a micro app)")
 		policy  = flag.String("policy", "distws", "scheduler: x10ws, distws, distws-ns, random, lifeline, adaptive")
+		dq      = flag.String("deque", "mutex", "worker-queue kind: "+strings.Join(deque.KindNames(), ", "))
 		mode    = flag.String("mode", "sim", "sim (virtual cluster) or runtime (real goroutine runtime)")
 		places  = flag.Int("places", 16, "number of places (nodes)")
 		workers = flag.Int("workers", 8, "workers per place")
@@ -103,6 +105,10 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("-policy %q: valid policies are: %s", *policy, strings.Join(policyNames(), " "))
 	}
+	dk, err := deque.ParseKind(*dq)
+	if err != nil {
+		return fmt.Errorf("-deque %q: valid kinds are: %s", *dq, strings.Join(deque.KindNames(), " "))
+	}
 	app, err := suite.ByName(*appName, suite.Scale(*scale), *seed)
 	if err != nil {
 		return fmt.Errorf("-app %q: valid applications are: %s uts",
@@ -142,9 +148,9 @@ func run() error {
 
 	switch *mode {
 	case "sim":
-		err = runSim(app, cl, k, *seed, plan, rec, diag.Server())
+		err = runSim(app, cl, k, dk, *seed, plan, rec, diag.Server())
 	case "runtime":
-		err = runRuntime(app, cl, k, *seed, *timeout, plan, rec, diag.Server())
+		err = runRuntime(app, cl, k, dk, *seed, *timeout, plan, rec, diag.Server())
 	}
 	if err != nil {
 		return err
@@ -158,7 +164,7 @@ func run() error {
 	return diag.Stop()
 }
 
-func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
+func runSim(app apps.App, cl topology.Cluster, k sched.Kind, dk deque.Kind, seed int64, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
 	start := time.Now()
 	g, err := app.Trace(cl.Places)
 	if err != nil {
@@ -166,7 +172,7 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *f
 	}
 	genTime := time.Since(start)
 	start = time.Now()
-	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed, Fault: plan, Recorder: rec})
+	res, err := sim.Run(g, cl, k, sim.Options{Seed: seed, Deque: dk, Fault: plan, Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -191,10 +197,10 @@ func runSim(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, plan *f
 	return w.Flush()
 }
 
-func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, seed int64, timeout time.Duration, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
+func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, dk deque.Kind, seed int64, timeout time.Duration, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
 	fmt.Printf("%s under %s on %s (real runtime; place count bounded by this host)\n\n", app.Name(), k, cl)
 	want := app.Sequential()
-	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Seed: seed, Fault: plan, Recorder: rec})
+	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Deque: dk, Seed: seed, Fault: plan, Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -369,6 +375,10 @@ func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
 	fmt.Fprintf(w, "steals-to-task ratio\t%.2e\n", s.StealsToTaskRatio())
 	fmt.Fprintf(w, "messages\t%d (%d bytes)\n", s.Messages, s.BytesTransferred)
 	fmt.Fprintf(w, "migrated tasks\t%d (remote refs %d)\n", s.TasksMigrated, s.RemoteDataAccess)
+	if s.StealRequests > 0 || s.Donations > 0 || s.DuplicateTakes > 0 {
+		fmt.Fprintf(w, "receiver-initiated\t%d requests, %d donations, %d duplicate takes deduped\n",
+			s.StealRequests, s.Donations, s.DuplicateTakes)
+	}
 	if s.Reclassifications > 0 {
 		fmt.Fprintf(w, "online reclassifications\t%d\n", s.Reclassifications)
 	}

@@ -68,6 +68,7 @@ package distws
 import (
 	"distws/internal/comm"
 	"distws/internal/core"
+	"distws/internal/deque"
 	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/obs"
@@ -122,6 +123,8 @@ type (
 	TraceRecorderOptions = obs.RecorderOptions
 	// Transport selects the inter-place message layer (Config.Transport).
 	Transport = comm.Transport
+	// DequeKind selects the worker-queue implementation (Config.Deque).
+	DequeKind = deque.Kind
 	// PlaceDownError is the concrete error behind ErrPlaceDown; it carries
 	// the id of the failed place.
 	PlaceDownError = comm.PlaceDownError
@@ -141,6 +144,23 @@ const (
 	// TransportTCPMesh is the peer-to-peer topology: one process per
 	// place, direct lazily-dialed links, one hop.
 	TransportTCPMesh = comm.TransportTCPMesh
+)
+
+// Worker-queue kinds for Config.Deque.
+const (
+	// DequeMutex is the paper-faithful default: mutex-guarded deques with
+	// an observable lock.
+	DequeMutex = deque.KindMutex
+	// DequeChaseLev swaps in lock-free Chase–Lev deques: owner push/pop
+	// without locks, one CAS per steal, exactly-once hand-off.
+	DequeChaseLev = deque.KindChaseLev
+	// DequeRelaxed selects fence-free queues with multiplicity semantics
+	// (a task may rarely be handed out twice; the runtime dedups at
+	// dispatch) and switches remote stealing to the receiver-initiated
+	// private-deques protocol: thieves post requests into per-worker
+	// mailboxes and busy owners donate half their flexible queue at task
+	// boundaries.
+	DequeRelaxed = deque.KindRelaxed
 )
 
 // Typed error surface. Match with errors.Is; see the package comment's
@@ -201,6 +221,14 @@ func ParsePolicy(s string) (Policy, error) { return sched.Parse(s) }
 // ParseTransport resolves a case-insensitive transport name: "inproc",
 // "tcp-hub", or "tcp-mesh".
 func ParseTransport(s string) (Transport, error) { return comm.ParseTransport(s) }
+
+// ParseDequeKind resolves a case-insensitive worker-queue kind name:
+// "mutex", "chaselev", or "relaxed".
+func ParseDequeKind(s string) (DequeKind, error) { return deque.ParseKind(s) }
+
+// DequeKindNames lists the valid Config.Deque flag spellings in
+// presentation order, for CLI help and validation messages.
+func DequeKindNames() []string { return deque.KindNames() }
 
 // PaperCluster returns the evaluation platform of the paper (§VII):
 // 16 places × 8 workers = 128 workers.

@@ -49,6 +49,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"distws/internal/task"
 )
@@ -98,6 +99,15 @@ type Config struct {
 	// timeout ≥4× that, so healthy victims share a bucket and flaky ones
 	// fall behind).
 	LatencyBucketNS int64
+
+	// Unsynchronized skips the controller's internal mutex: the caller
+	// guarantees every method call happens from a single goroutine. The
+	// simulator's virtual-time loop qualifies and sets it for the
+	// controllers it constructs — at one observation per probe and one
+	// ordering per sweep, the uncontended lock/unlock atomics alone were
+	// a visible slice of the adaptive policy's profile. The runtime's
+	// shared controllers must leave it false.
+	Unsynchronized bool
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +202,23 @@ type Controller struct {
 	flips  int64
 	chunks []chunkState
 	links  []victimStat // [thief*Places + victim]
+	scores []int64      // AppendVictimOrder scratch (guarded by mu)
+
+	// latShift is log2(LatencyBucketNS) when the bucket is a power of
+	// two (the default is), else -1. Latency EWMAs are non-negative, so
+	// quantizing with a shift is exact and spares AppendVictimOrder a
+	// 64-bit division per victim per sweep.
+	latShift int
+
+	// Lock-free snapshots of the two values the scheduler reads on its
+	// hot path. Classify runs once per spawn and Chunk once per steal
+	// sweep; taking the controller mutex for a single read there is the
+	// dominant adaptive overhead. The mutators (Intern, ObserveExec,
+	// ObserveSteal) keep the mutex and mirror their decisions here:
+	// classes is copy-on-write grown by Intern with entries stored
+	// in-place on a flip, chunkNow is fixed-size per place.
+	classes  atomic.Pointer[[]atomic.Int32] // dense kind id -> task.Class
+	chunkNow []atomic.Int32                 // per-place current chunk size
 }
 
 // New returns a Controller for a cluster of cfg.Places places.
@@ -201,47 +228,88 @@ func New(cfg Config) *Controller {
 		panic(fmt.Sprintf("adapt: Config.Places = %d, want >= 1", cfg.Places))
 	}
 	c := &Controller{
-		cfg:    cfg,
-		sigs:   make(map[uint64]int32),
-		chunks: make([]chunkState, cfg.Places),
-		links:  make([]victimStat, cfg.Places*cfg.Places),
+		cfg:      cfg,
+		sigs:     make(map[uint64]int32),
+		chunks:   make([]chunkState, cfg.Places),
+		links:    make([]victimStat, cfg.Places*cfg.Places),
+		chunkNow: make([]atomic.Int32, cfg.Places),
+		latShift: -1,
+	}
+	if b := cfg.LatencyBucketNS; b > 0 && b&(b-1) == 0 {
+		c.latShift = bits.TrailingZeros64(uint64(b))
 	}
 	for p := range c.chunks {
 		c.chunks[p].chunk = 2 // the paper's §V-B3 starting point
+		c.chunkNow[p].Store(2)
 	}
+	empty := make([]atomic.Int32, 0)
+	c.classes.Store(&empty)
 	return c
+}
+
+// Unsynchronized reports whether the controller was built with
+// Config.Unsynchronized — callers that batch observations purely to
+// amortize the internal mutex (the simulator) can feed per-probe calls
+// directly when it is set.
+func (c *Controller) Unsynchronized() bool {
+	return c.cfg.Unsynchronized
+}
+
+// lock/unlock guard the controller's mutable state; they are the mutex
+// unless Config.Unsynchronized promised single-goroutine use.
+func (c *Controller) lock() {
+	if !c.cfg.Unsynchronized {
+		c.mu.Lock()
+	}
+}
+
+func (c *Controller) unlock() {
+	if !c.cfg.Unsynchronized {
+		c.mu.Unlock()
+	}
 }
 
 // Intern resolves a task signature to its kind id, registering it on
 // first sight. Kind ids are dense and stable for the Controller's life.
 func (c *Controller) Intern(sig uint64) int32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	if id, ok := c.sigs[sig]; ok {
 		return id
 	}
 	id := int32(len(c.kinds))
 	c.sigs[sig] = id
 	c.kinds = append(c.kinds, kindStats{class: task.Flexible})
+	// Copy-on-write growth of the lock-free class table: concurrent
+	// Classify calls see either the old or the new snapshot, both
+	// consistent.
+	old := *c.classes.Load()
+	grown := make([]atomic.Int32, len(c.kinds))
+	for i := range old {
+		grown[i].Store(old[i].Load())
+	}
+	grown[id].Store(int32(task.Flexible))
+	c.classes.Store(&grown)
 	return id
 }
 
 // NumKinds returns how many distinct kinds have been interned.
 func (c *Controller) NumKinds() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	return len(c.kinds)
 }
 
 // Classify returns kind's current classification — the class the mapper
-// feeds into Algorithm 1 lines 1–8 in place of the annotation.
+// feeds into Algorithm 1 lines 1–8 in place of the annotation. It runs
+// once per spawn, so it reads the lock-free class snapshot instead of
+// taking the controller mutex.
 func (c *Controller) Classify(kind int32) task.Class {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if int(kind) >= len(c.kinds) {
+	classes := *c.classes.Load()
+	if kind < 0 || int(kind) >= len(classes) {
 		return task.Flexible
 	}
-	return c.kinds[kind].class
+	return task.Class(classes[kind].Load())
 }
 
 // ObserveExec feeds one completed execution of a kind task into the
@@ -264,8 +332,8 @@ func (c *Controller) ObserveExec(kind int32, migrated bool, serviceNS, penaltyNS
 		penaltyNS = 0
 	}
 	s, pen := float64(serviceNS), float64(penaltyNS)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	if int(kind) >= len(c.kinds) {
 		return false, task.Flexible
 	}
@@ -310,6 +378,7 @@ func (c *Controller) ObserveExec(kind int32, migrated bool, serviceNS, penaltyNS
 	}
 	k.flips++
 	c.flips++
+	(*c.classes.Load())[kind].Store(int32(k.class))
 	return true, k.class
 }
 
@@ -326,8 +395,8 @@ type KindState struct {
 
 // State returns kind's current classifier state.
 func (c *Controller) State(kind int32) KindState {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	if int(kind) >= len(c.kinds) {
 		return KindState{Class: task.Flexible}
 	}
@@ -339,26 +408,26 @@ func (c *Controller) State(kind int32) KindState {
 
 // Flips returns the total number of reclassifications so far.
 func (c *Controller) Flips() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	return c.flips
 }
 
 // KindFlips returns how often kind has been reclassified.
 func (c *Controller) KindFlips(kind int32) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	if int(kind) >= len(c.kinds) {
 		return 0
 	}
 	return c.kinds[kind].flips
 }
 
-// Chunk returns place's current remote steal chunk size.
+// Chunk returns place's current remote steal chunk size. It runs once
+// per steal sweep, so it reads the lock-free per-place snapshot instead
+// of taking the controller mutex.
 func (c *Controller) Chunk(place int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.chunks[place].chunk
+	return int(c.chunkNow[place].Load())
 }
 
 // ObserveSteal feeds one remote steal outcome into the chunk and victim
@@ -368,11 +437,58 @@ func (c *Controller) Chunk(place int) int {
 // empty probe is got == 0; its latency still trains the victim order
 // (timeout-laden links fall behind clean ones).
 func (c *Controller) ObserveSteal(thief, victim int, latencyNS int64, got, victimLeft int) {
+	c.lock()
+	defer c.unlock()
+	c.observeStealLocked(thief, victim, latencyNS, got, victimLeft)
+}
+
+// StealObservation is one probe outcome for ObserveStealBatch, with the
+// same fields ObserveSteal takes.
+type StealObservation struct {
+	Thief, Victim int
+	LatencyNS     int64
+	Got           int
+	VictimLeft    int
+}
+
+// ObserveStealBatch feeds a sequence of probe outcomes under a single
+// lock acquisition, in order — state-identical to calling ObserveSteal
+// once per element. Sweep-scoped callers (the simulator observes every
+// probe of a victim sweep before any of the sweep's state is read back)
+// use it to pay the controller mutex once per sweep instead of once per
+// probe, which profiling showed as the dominant adaptive overhead.
+func (c *Controller) ObserveStealBatch(obs []StealObservation) {
+	if len(obs) == 0 {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	for i := range obs {
+		o := &obs[i]
+		c.latObserveLocked(o.Thief, o.Victim, o.LatencyNS)
+		if o.Got > 0 {
+			c.chunkObserveLocked(o.Thief, o.VictimLeft)
+		}
+	}
+}
+
+func (c *Controller) observeStealLocked(thief, victim int, latencyNS int64, got, victimLeft int) {
+	c.latObserveLocked(thief, victim, latencyNS)
+	if got > 0 {
+		c.chunkObserveLocked(thief, victimLeft)
+	}
+}
+
+// latObserveLocked is the per-probe hot path — most observations are
+// failed probes (got == 0) whose only effect is the latency EWMA — and
+// is kept small enough for the compiler to inline it into the
+// ObserveStealBatch loop; a call per probe on top of three float ops
+// showed up in sweep-heavy profiles. The successful-steal bookkeeping
+// lives in chunkObserveLocked, off this path.
+func (c *Controller) latObserveLocked(thief, victim int, latencyNS int64) {
 	if latencyNS < 0 {
 		latencyNS = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	l := &c.links[thief*c.cfg.Places+victim]
 	if l.n == 0 {
 		l.latEW = float64(latencyNS)
@@ -380,10 +496,9 @@ func (c *Controller) ObserveSteal(thief, victim int, latencyNS int64, got, victi
 		l.latEW += c.cfg.Alpha * (float64(latencyNS) - l.latEW)
 	}
 	l.n++
+}
 
-	if got <= 0 {
-		return
-	}
+func (c *Controller) chunkObserveLocked(thief, victimLeft int) {
 	cs := &c.chunks[thief]
 	cs.steals++
 	if victimLeft == 0 {
@@ -408,6 +523,7 @@ func (c *Controller) ObserveSteal(thief, victim int, latencyNS int64, got, victi
 	if cs.chunk > c.cfg.MaxChunk {
 		cs.chunk = c.cfg.MaxChunk
 	}
+	c.chunkNow[thief].Store(int32(cs.chunk))
 	cs.steals, cs.emptied, cs.rich = 0, 0, 0
 }
 
@@ -430,27 +546,42 @@ func (c *Controller) AppendVictimOrder(dst []int, thief int, rng *rand.Rand) []i
 	rng.Shuffle(len(order), func(i, j int) {
 		order[i], order[j] = order[j], order[i]
 	})
-	c.mu.Lock()
+	c.lock()
 	base := thief * c.cfg.Places
-	score := func(v int) int64 {
-		l := c.links[base+v]
-		if l.n == 0 {
-			return 0
+	// Quantize each victim's observed latency once up front — the
+	// insertion sort below would otherwise recompute the division (and
+	// reload the link state) on every comparison, which profiling showed
+	// as the controller's largest per-sweep cost. The scratch lives on
+	// the Controller (mutex-guarded, like the link state it caches).
+	if cap(c.scores) < len(order) {
+		c.scores = make([]int64, len(order))
+	}
+	scores := c.scores[:len(order)]
+	shift, bucket := c.latShift, c.cfg.LatencyBucketNS
+	for i, v := range order {
+		l := &c.links[base+v]
+		switch {
+		case l.n == 0:
+			scores[i] = 0 // unobserved: optimistic exploration, sorts first
+		case shift >= 0:
+			scores[i] = 1 + int64(l.latEW)>>shift
+		default:
+			scores[i] = 1 + int64(l.latEW)/bucket
 		}
-		return 1 + int64(l.latEW)/c.cfg.LatencyBucketNS
 	}
 	// Stable insertion sort: allocation-free (this runs once per steal
 	// sweep) and the order is at most places-1 elements long.
 	for i := 1; i < len(order); i++ {
-		v, s := order[i], score(order[i])
+		v, s := order[i], scores[i]
 		j := i
-		for j > 0 && score(order[j-1]) > s {
+		for j > 0 && scores[j-1] > s {
 			order[j] = order[j-1]
+			scores[j] = scores[j-1]
 			j--
 		}
-		order[j] = v
+		order[j], scores[j] = v, s
 	}
-	c.mu.Unlock()
+	c.unlock()
 	return dst
 }
 

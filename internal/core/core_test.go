@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"distws/internal/deque"
 	"distws/internal/sched"
 	"distws/internal/task"
 	"distws/internal/topology"
@@ -485,30 +486,98 @@ func TestUtilizationRecorded(t *testing.T) {
 	}
 }
 
-func TestLockFreeDequesRunCorrectly(t *testing.T) {
-	cfg := testConfig(sched.DistWS, 2, 2)
-	cfg.LockFreeDeques = true
-	rt := mustNew(t, cfg)
-	var count atomic.Int32
-	err := rt.Run(func(ctx *Ctx) {
-		ctx.Finish(func(c *Ctx) {
-			for i := 0; i < 200; i++ {
-				c.AsyncAny(i%2, func(*Ctx) { count.Add(1) })
-				c.Async(i%2, func(*Ctx) { count.Add(1) })
+// TestDequeKindsRunCorrectly runs the same mixed sensitive/flexible
+// workload under every worker-queue kind: the lock-free and fence-free
+// queues must execute every task exactly once — for relaxed, that is the
+// claim-based dedup absorbing any duplicate takes.
+func TestDequeKindsRunCorrectly(t *testing.T) {
+	for _, k := range deque.Kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := testConfig(sched.DistWS, 2, 2)
+			cfg.Deque = k
+			rt := mustNew(t, cfg)
+			var count atomic.Int32
+			err := rt.Run(func(ctx *Ctx) {
+				ctx.Finish(func(c *Ctx) {
+					for i := 0; i < 200; i++ {
+						c.AsyncAny(i%2, func(*Ctx) { count.Add(1) })
+						c.Async(i%2, func(*Ctx) { count.Add(1) })
+					}
+				})
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if count.Load() != 400 {
+				t.Fatalf("executed %d, want 400", count.Load())
+			}
+			m := rt.Metrics()
+			if m.TasksExecuted != 401 { // 400 spawned + the root activity
+				t.Fatalf("TasksExecuted = %d, want 401 (duplicates must not execute)", m.TasksExecuted)
 			}
 		})
+	}
+}
+
+// TestReceiverInitiatedStealing grows a recursive flexible fan-out from
+// place 0 under the relaxed deques. Spawning from inside running tasks
+// keeps the place saturated (Algorithm 1 maps flexible spawns to the
+// stealable queues only when no worker is spare), so the surplus lands
+// in the spawners' fence-free flexible queues — which remote places can
+// only acquire through the receiver-initiated protocol: post a mailbox
+// request, receive a steal-half donation. A one-shot burst from the root
+// would not do: the root outruns its sibling worker, every load sample
+// sees a spare, and all work stays private. Completion plus the protocol
+// counters prove the request/donate round trip delivers work.
+func TestReceiverInitiatedStealing(t *testing.T) {
+	cfg := testConfig(sched.DistWS, 4, 2)
+	cfg.Deque = deque.KindRelaxed
+	rt := mustNew(t, cfg)
+	var count atomic.Int32
+	var spawn func(c *Ctx, depth int)
+	spawn = func(c *Ctx, depth int) {
+		count.Add(1)
+		time.Sleep(10 * time.Microsecond)
+		if depth == 0 {
+			return
+		}
+		for i := 0; i < 2; i++ {
+			d := depth - 1
+			c.AsyncAny(c.Place(), func(c *Ctx) { spawn(c, d) })
+		}
+	}
+	err := rt.Run(func(ctx *Ctx) {
+		ctx.Finish(func(c *Ctx) { spawn(c, 9) }) // 2^10-1 = 1023 tasks
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if count.Load() != 400 {
-		t.Fatalf("executed %d, want 400", count.Load())
+	if count.Load() != 1023 {
+		t.Fatalf("executed %d, want 1023", count.Load())
+	}
+	m := rt.Metrics()
+	if m.TasksExecuted != 1023 {
+		t.Fatalf("TasksExecuted = %d, want 1023 (dedup must absorb duplicate takes)", m.TasksExecuted)
+	}
+	if m.StealRequests == 0 {
+		t.Fatal("no receiver-initiated steal requests were posted")
+	}
+	if m.Donations == 0 || m.RemoteSteals == 0 {
+		t.Fatalf("no donations served (donations=%d remoteSteals=%d)", m.Donations, m.RemoteSteals)
+	}
+}
+
+func TestInvalidDequeKindRejected(t *testing.T) {
+	cfg := testConfig(sched.DistWS, 2, 2)
+	cfg.Deque = deque.Kind(99)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New should reject an invalid deque kind")
 	}
 }
 
 func TestLockFreeRecursionDoesNotDeadlock(t *testing.T) {
 	cfg := testConfig(sched.DistWS, 1, 2)
-	cfg.LockFreeDeques = true
+	cfg.Deque = deque.KindChaseLev
 	rt := mustNew(t, cfg)
 	var fib func(ctx *Ctx, n int) int
 	fib = func(ctx *Ctx, n int) int {

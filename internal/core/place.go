@@ -23,6 +23,10 @@ type activity struct {
 	// locality signature (adaptive policy only; see Runtime.mapClass).
 	kind     int32
 	interned bool
+	// claimed is the dispatch-level dedup for the relaxed queues
+	// (multiplicity semantics): whichever taker wins this flag runs the
+	// activity; every other take of the same activity is discarded.
+	claimed atomic.Bool
 }
 
 // place mirrors the paper's Fig. 2: several workers with private deques
@@ -81,11 +85,13 @@ func newPlace(rt *Runtime, id int) *place {
 			place: p,
 			local: i,
 			rng:   rand.New(rand.NewSource(rt.cfg.Seed + int64(id*1000+i))),
+			priv:  deque.New[*activity](rt.cfg.Deque),
 		}
-		if rt.cfg.LockFreeDeques {
-			w.priv = deque.NewChaseLev[*activity]()
-		} else {
-			w.priv = &deque.Private[*activity]{}
+		if rt.receiver {
+			// Receiver-initiated mode: each worker owns a fence-free
+			// flexible queue; the place's shared deque survives only as a
+			// cold-path inbox for cross-place arrivals.
+			w.flex = deque.NewRelaxed[*activity]()
 		}
 		if rt.cfg.CacheBlocks > 0 {
 			w.cache = cachesim.New(rt.cfg.CacheBlocks)
@@ -93,6 +99,25 @@ func newPlace(rt *Runtime, id int) *place {
 		p.workers[i] = w
 	}
 	return p
+}
+
+// queuesEmpty reports whether nothing is queued at the place. The queued
+// counter is exact under the strict deque kinds; under the relaxed queues
+// duplicate takes make it a heuristic, so drain logic inspects the queues
+// themselves.
+func (p *place) queuesEmpty() bool {
+	if !p.rt.receiver {
+		return p.queued.Load() == 0
+	}
+	if p.shared.Len() != 0 {
+		return false
+	}
+	for _, w := range p.workers {
+		if w.priv.Len() != 0 || w.flex.Len() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (p *place) startWorkers() {
@@ -129,8 +154,17 @@ func (p *place) enqueue(a *activity, target sched.Target, spawner *worker) {
 	p.active.Store(true)
 	p.failedSweeps.Store(0)
 	if target == sched.TargetShared {
-		p.shared.Push(a)
-		p.serveLifelines()
+		if w := spawner; p.rt.receiver && w != nil && w.place == p {
+			// Receiver-initiated mode, spawn boundary: the spawning owner
+			// keeps flexible work in its own fence-free queue and serves
+			// any parked steal request — this is the only point where a
+			// busy owner communicates with thieves.
+			w.flex.Push(a)
+			w.serveMail()
+		} else {
+			p.shared.Push(a)
+			p.serveLifelines()
+		}
 	} else {
 		w := spawner
 		if w == nil || w.place != p {
@@ -217,29 +251,88 @@ func (p *place) noteFailedSweep() {
 	}
 }
 
-// workerDeque is the private-deque discipline a worker schedules from:
-// owner LIFO push/pop plus a FIFO-end steal for co-located thieves. Two
-// implementations ship: the mutex-guarded deque.Private (default, the
-// observable-lock design the paper reasons about) and the lock-free
-// deque.ChaseLev (Config.LockFreeDeques), which bounds the interruption
-// a steal inflicts on the victim (§V).
-type workerDeque interface {
-	Push(*activity)
-	Pop() (*activity, bool)
-	Steal() (*activity, bool)
-	Len() int
+// donateReq is one receiver-initiated steal request parked in a victim
+// worker's mailbox. The reply channel is buffered so the donor's send
+// never blocks; an empty donation tells the thief to move on.
+type donateReq struct {
+	reply chan []*activity
 }
 
-// worker is one scheduling thread within a place.
+// worker is one scheduling thread within a place. priv is the
+// private-deque discipline it schedules from — owner LIFO push/pop plus a
+// FIFO-end steal for co-located thieves — behind deque.WorkQueue:
+// Config.Deque selects the mutex-guarded deque.Private (default, the
+// observable-lock design the paper reasons about), the lock-free
+// deque.ChaseLev, which bounds the interruption a steal inflicts on the
+// victim (§V), or the fence-free deque.Relaxed.
 type worker struct {
 	place *place
 	local int // index within the place
-	priv  workerDeque
+	priv  deque.WorkQueue[*activity]
 	cache *cachesim.Cache
 	rng   *rand.Rand
 	// victims is sweep-order scratch reused across adaptive remote
 	// steals so victim ordering does not allocate per sweep.
 	victims []int
+
+	// flex is this worker's fence-free queue of locality-flexible tasks
+	// (receiver-initiated mode only, nil otherwise): the owner pushes its
+	// flexible spawns here instead of the place's shared deque, co-located
+	// thieves steal from it directly, and remote thieves receive halves of
+	// it as donations.
+	flex *deque.Relaxed[*activity]
+	// mail is the worker's steal-request mailbox: an idle remote thief
+	// CASes a request in; the owner answers at its next task-spawn or
+	// task-completion boundary. At most one request parks at a time.
+	mail atomic.Pointer[donateReq]
+}
+
+// claim marks a as dispatched exactly once. The relaxed queues may hand a
+// task out twice (multiplicity semantics); the loser of the claim discards
+// its copy. The strict kinds hand out each task at most once, so the check
+// short-circuits to true.
+func (w *worker) claim(a *activity) bool {
+	rt := w.place.rt
+	if !rt.receiver {
+		return true
+	}
+	if a.claimed.CompareAndSwap(false, true) {
+		return true
+	}
+	rt.counters.DuplicateTakes.Add(1)
+	rt.record(w.place.id, w.local, obs.KindDupTake, -1, int32(w.place.id), 0)
+	return false
+}
+
+// serveMail answers a parked steal request by donating half of this
+// worker's flexible queue (WSPDR-style steal-half). It runs at the
+// receiver-initiated protocol's communication points — task-spawn and
+// task-completion boundaries — so a busy owner is never interrupted
+// mid-task. An owner with nothing to give replies with an empty donation
+// so the thief moves on instead of waiting out its timeout.
+func (w *worker) serveMail() {
+	if w.mail.Load() == nil {
+		return // hot path: one atomic load when no request is parked
+	}
+	req := w.mail.Swap(nil)
+	if req == nil {
+		return
+	}
+	rt := w.place.rt
+	var chunk []*activity
+	for n := sched.StealHalf(w.flex.Len()); n > 0; n-- {
+		a, ok := w.flex.Steal()
+		if !ok {
+			break
+		}
+		chunk = append(chunk, a)
+	}
+	if len(chunk) > 0 {
+		w.place.queued.Add(-int32(len(chunk)))
+		rt.counters.Donations.Add(1)
+		rt.record(w.place.id, w.local, obs.KindDonate, -1, int32(len(chunk)), 0)
+	}
+	req.reply <- chunk
 }
 
 // loop is Algorithm 1 lines 9–29. A worker whose place fail-stops exits
@@ -286,24 +379,66 @@ func (w *worker) findWork() (*activity, stealKind) {
 	if p.dead.Load() || p.draining.Load() {
 		return nil, tookOwn
 	}
-	// 1. Own private deque (line 9).
-	if a, ok := w.priv.Pop(); ok {
-		p.queued.Add(-1)
-		return a, tookOwn
+	rcv := p.rt.receiver
+	if rcv {
+		// Task-completion boundary: serve a parked steal request before
+		// looking for own work.
+		w.serveMail()
 	}
-	// 2. Steal from co-located workers' private deques (line 12).
+	// 1. Own private deque (line 9). The take loops skip claim-losing
+	// duplicates from the relaxed queues; under the strict kinds claim is
+	// always true and each loop runs at most one full iteration.
+	for {
+		a, ok := w.priv.Pop()
+		if !ok {
+			break
+		}
+		if w.claim(a) {
+			p.queued.Add(-1)
+			return a, tookOwn
+		}
+	}
+	// 1b. Own flexible queue (receiver-initiated mode).
+	if rcv {
+		for {
+			a, ok := w.flex.Pop()
+			if !ok {
+				break
+			}
+			if w.claim(a) {
+				p.queued.Add(-1)
+				return a, tookOwn
+			}
+		}
+	}
+	// 2. Steal from co-located workers' private (and, in receiver mode,
+	// flexible) deques (line 12).
 	for off := 1; off < len(p.workers); off++ {
 		peer := p.workers[(w.local+off)%len(p.workers)]
-		if a, ok := peer.priv.Steal(); ok {
+		if a, ok := peer.priv.Steal(); ok && w.claim(a) {
 			p.queued.Add(-1)
 			p.rt.record(p.id, w.local, obs.KindStealLocal, -1, int32(peer.local), 0)
 			return a, tookLocalSteal
 		}
+		if rcv {
+			if a, ok := peer.flex.Steal(); ok && w.claim(a) {
+				p.queued.Add(-1)
+				p.rt.record(p.id, w.local, obs.KindStealLocal, -1, int32(peer.local), 0)
+				return a, tookLocalSteal
+			}
+		}
 	}
-	// 3. Local shared deque (line 13).
-	if a, ok := p.shared.Poll(); ok {
-		p.queued.Add(-1)
-		return a, tookSharedLocal
+	// 3. Local shared deque (line 13) — in receiver mode the cold-path
+	// inbox holding cross-place arrivals.
+	for {
+		a, ok := p.shared.Poll()
+		if !ok {
+			break
+		}
+		if w.claim(a) {
+			p.queued.Add(-1)
+			return a, tookSharedLocal
+		}
 	}
 	// 4. Distributed steal (lines 14–29), policy permitting.
 	if sched.RemoteStealing(w.place.rt.cfg.Policy) {
@@ -323,6 +458,9 @@ func (w *worker) findWork() (*activity, stealKind) {
 // backoff with jitter.
 func (w *worker) stealRemote() *activity {
 	rt := w.place.rt
+	if rt.receiver {
+		return w.stealRemoteReceiver()
+	}
 	chunkSize := sched.RemoteChunk(rt.cfg.Policy)
 	if rt.ctrl != nil {
 		chunkSize = rt.ctrl.Chunk(w.place.id)
@@ -378,6 +516,158 @@ func (w *worker) stealRemote() *activity {
 		return first
 	}
 	return nil
+}
+
+// stealRemoteReceiver is the receiver-initiated counterpart of
+// stealRemote (deque.KindRelaxed): instead of reaching into a victim's
+// shared deque, the idle thief posts a steal request into one victim
+// worker's mailbox and waits for that owner to donate half its flexible
+// queue at its next task boundary. The victim's hot path never takes a
+// lock on the thief's behalf.
+func (w *worker) stealRemoteReceiver() *activity {
+	rt := w.place.rt
+	timing := rt.rec != nil || rt.ctrl != nil
+	var sweepStart time.Time
+	if timing {
+		sweepStart = time.Now()
+	}
+	victims := sched.VictimOrder(rt.cfg.Policy, w.place.id, len(rt.places), w.rng)
+	if rt.ctrl != nil {
+		w.victims = rt.ctrl.AppendVictimOrder(w.victims[:0], w.place.id, w.rng)
+		victims = w.victims
+	}
+	for _, v := range victims {
+		victim := rt.places[v]
+		if victim.dead.Load() || victim.draining.Load() {
+			continue
+		}
+		if victim.queued.Load() <= 0 {
+			continue // nothing to donate; don't park a request for nothing
+		}
+		var probeStart time.Time
+		if rt.ctrl != nil {
+			probeStart = time.Now()
+		}
+		chunk := w.receiverProbe(victim)
+		if len(chunk) == 0 {
+			if rt.ctrl != nil {
+				rt.ctrl.ObserveSteal(w.place.id, v, time.Since(probeStart).Nanoseconds(), 0, 0)
+			}
+			continue
+		}
+		if rt.ctrl != nil {
+			rt.ctrl.ObserveSteal(w.place.id, v, time.Since(probeStart).Nanoseconds(),
+				len(chunk), int(victim.queued.Load()))
+		}
+		rt.counters.RemoteSteals.Add(int64(len(chunk)))
+		if rt.rec != nil {
+			rt.rec.Record(w.place.id, w.local, obs.KindStealRemote, -1, int32(v),
+				time.Since(sweepStart).Nanoseconds())
+		}
+		var bytes int64
+		for _, a := range chunk {
+			bytes += int64(a.loc.MigrationBytes)
+		}
+		rt.counters.BytesTransferred.Add(bytes)
+		// The first claimable task runs now; the rest go into this
+		// worker's own flexible queue (an owner push — no shared
+		// structure involved) where co-located workers can steal them.
+		p := w.place
+		var first *activity
+		kept := 0
+		for _, a := range chunk {
+			if first == nil {
+				if w.claim(a) {
+					first = a
+				}
+				continue
+			}
+			w.flex.Push(a)
+			kept++
+		}
+		if kept > 0 {
+			p.queued.Add(int32(kept))
+			p.active.Store(true)
+			p.failedSweeps.Store(0)
+			rt.record(p.id, w.local, obs.KindArrive, -1, int32(kept), 0)
+			p.wakeAll()
+			if p.dead.Load() {
+				rt.rescue(p)
+			} else if p.draining.Load() {
+				rt.offload(p)
+			}
+		}
+		if first != nil {
+			return first
+		}
+		// Every task in the donation was a duplicate; keep sweeping.
+	}
+	return nil
+}
+
+// receiverProbe runs one receiver-initiated steal round trip: CAS a
+// request into a victim worker's mailbox, wake the victim's idle workers,
+// and wait for the donation. The same injected-fault vocabulary as
+// probeVictim applies — a lost request or reply burns a steal timeout and
+// retries under backoff. A mailbox already occupied by another thief
+// counts as a failed probe; requests never queue. A request the owner has
+// not answered within the steal timeout is withdrawn, unless the owner
+// claimed it concurrently, in which case the donation is already in
+// flight on the buffered reply channel.
+func (w *worker) receiverProbe(victim *place) []*activity {
+	rt := w.place.rt
+	for attempt := 0; ; attempt++ {
+		rt.counters.RemoteProbes.Add(1)
+		rt.counters.StealRequests.Add(1)
+		rt.counters.Messages.Add(2) // steal-req + donation reply
+		rt.record(w.place.id, w.local, obs.KindProbe, -1, int32(victim.id), 0)
+		now := rt.nowNS()
+		if rt.inj.PartitionedAt(w.place.id, victim.id, now) ||
+			rt.inj.Drop(w.place.id, victim.id) || rt.inj.Drop(victim.id, w.place.id) {
+			rt.counters.DroppedMessages.Add(1)
+			rt.counters.StealTimeouts.Add(1)
+			rt.record(w.place.id, w.local, obs.KindTimeout, -1, int32(victim.id), 0)
+			if attempt+1 >= rt.cfg.StealMaxAttempts {
+				return nil
+			}
+			rt.counters.Retries.Add(1)
+			time.Sleep(backoffJitter(rt.cfg.StealTimeout, attempt, w.rng))
+			if victim.dead.Load() || victim.draining.Load() || rt.shutdown.Load() {
+				return nil
+			}
+			continue
+		}
+		delay := rt.inj.SpikeNS(w.place.id, victim.id) +
+			rt.inj.GrayNS(w.place.id, victim.id, now) + rt.inj.GrayNS(victim.id, w.place.id, now)
+		if delay > 0 {
+			time.Sleep(time.Duration(delay))
+		}
+		if rt.inj.Duplicate(victim.id, w.place.id) {
+			rt.counters.Messages.Add(1)
+			rt.counters.DuplicatedMessages.Add(1)
+		}
+		target := victim.workers[int(victim.rrWorker.Add(1))%len(victim.workers)]
+		req := &donateReq{reply: make(chan []*activity, 1)}
+		if !target.mail.CompareAndSwap(nil, req) {
+			return nil // another thief's request is parked there
+		}
+		victim.wakeAll() // idle victim workers answer promptly
+		select {
+		case chunk := <-req.reply:
+			return chunk
+		case <-time.After(rt.cfg.StealTimeout):
+			if target.mail.CompareAndSwap(req, nil) {
+				// Withdrawn: the owner never reached a communication
+				// boundary in time.
+				rt.counters.StealTimeouts.Add(1)
+				rt.record(w.place.id, w.local, obs.KindTimeout, -1, int32(victim.id), 0)
+				return nil
+			}
+			return <-req.reply
+		case <-rt.stopCh:
+			return nil
+		}
+	}
 }
 
 // probeVictim performs the steal request/reply round trip against one

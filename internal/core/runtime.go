@@ -24,6 +24,7 @@ import (
 
 	"distws/internal/adapt"
 	"distws/internal/comm"
+	"distws/internal/deque"
 	"distws/internal/fault"
 	"distws/internal/metrics"
 	"distws/internal/obs"
@@ -60,9 +61,16 @@ type Config struct {
 	// IdlePoll is how long an idle worker sleeps between failed
 	// work-finding sweeps. Defaults to 200µs.
 	IdlePoll time.Duration
-	// LockFreeDeques selects Chase–Lev lock-free private deques instead
-	// of the default mutex-guarded ones.
-	LockFreeDeques bool
+	// Deque selects the worker-queue implementation (deque.Kinds):
+	// deque.KindMutex (zero value) is the paper-faithful mutex-guarded
+	// deque; deque.KindChaseLev swaps in lock-free Chase–Lev private
+	// deques; deque.KindRelaxed selects the fence-free multiplicity
+	// queues AND switches remote stealing to the receiver-initiated
+	// private-deques protocol — thieves post steal requests into
+	// per-worker mailboxes and busy owners donate half their flexible
+	// queue at task-spawn boundaries, so no remote thief ever touches a
+	// shared structure on the victim's hot path.
+	Deque deque.Kind
 	// Fault injects failures: place crashes after a task count, message
 	// loss and latency spikes on the remote-steal path. Nil runs
 	// fault-free. A crashed place fail-stops (its workers exit after the
@@ -123,6 +131,10 @@ type Runtime struct {
 	// in place of the annotation, the per-place steal chunk size, and
 	// the latency-biased victim order.
 	ctrl *adapt.Controller
+	// receiver is true under deque.KindRelaxed: remote stealing runs the
+	// receiver-initiated private-deques protocol and every take is
+	// claim-checked because the relaxed queues may hand a task out twice.
+	receiver bool
 
 	// inj evaluates the injected fault plan (nil-safe when fault-free);
 	// down records which places have failed, for victim exclusion and
@@ -177,17 +189,21 @@ func New(cfg Config) (*Runtime, error) {
 	if !sched.Valid(cfg.Policy) {
 		return nil, fmt.Errorf("core: invalid policy %v", cfg.Policy)
 	}
+	if !cfg.Deque.Valid() {
+		return nil, fmt.Errorf("core: invalid deque kind %v", cfg.Deque)
+	}
 	if err := cfg.Fault.Validate(cfg.Cluster.Places); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		util:    metrics.NewUtilization(cfg.Cluster.Places),
-		rec:     cfg.Recorder,
-		inj:     fault.NewInjector(cfg.Fault),
-		down:    fault.NewDownSet(cfg.Cluster.Places),
-		stopCh:  make(chan struct{}),
-		started: time.Now(),
+		cfg:      cfg,
+		receiver: cfg.Deque == deque.KindRelaxed,
+		util:     metrics.NewUtilization(cfg.Cluster.Places),
+		rec:      cfg.Recorder,
+		inj:      fault.NewInjector(cfg.Fault),
+		down:     fault.NewDownSet(cfg.Cluster.Places),
+		stopCh:   make(chan struct{}),
+		started:  time.Now(),
 	}
 	if rt.rec != nil {
 		rt.rec.Configure(cfg.Cluster.Places, cfg.Cluster.WorkersPerPlace,
@@ -441,9 +457,34 @@ func (rt *Runtime) rehomeQueued(p *place, reexec bool) {
 			}
 			orphans = append(orphans, a)
 		}
+		if w.flex != nil {
+			for {
+				a, ok := w.flex.Steal()
+				if !ok {
+					break
+				}
+				orphans = append(orphans, a)
+			}
+		}
 	}
 	if len(orphans) == 0 {
 		return
+	}
+	if rt.receiver {
+		// Relaxed queues may hand an activity out twice under concurrent
+		// drains; dedup the orphan list so nothing is double-homed. (The
+		// claim check would still keep execution exactly-once, but the
+		// re-homing counters and queue accounting should see each task
+		// once.)
+		seen := make(map[*activity]bool, len(orphans))
+		uniq := orphans[:0]
+		for _, a := range orphans {
+			if !seen[a] {
+				seen[a] = true
+				uniq = append(uniq, a)
+			}
+		}
+		orphans = uniq
 	}
 	p.queued.Add(-int32(len(orphans)))
 	for i, a := range orphans {
@@ -542,7 +583,7 @@ func (rt *Runtime) DrainPlace(pid int) error {
 		if rt.shutdown.Load() {
 			return ErrShutdown
 		}
-		if p.running.Load() == 0 && p.queued.Load() == 0 {
+		if p.running.Load() == 0 && p.queuesEmpty() {
 			idle++
 		} else {
 			idle = 0

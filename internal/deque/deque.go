@@ -16,12 +16,20 @@
 // on. Keeping that lock observable, rather than hiding it behind a
 // lock-free structure, preserves the contention behaviour the paper's
 // design is reacting to.
+//
+// The worker-side queue is pluggable beyond that paper-faithful default:
+// Kind selects among Private (mutex), ChaseLev (lock-free, CAS steals) and
+// Relaxed (fence-free with multiplicity) behind the common WorkQueue
+// interface — see kind.go. Selecting Relaxed also flips the runtime to
+// receiver-initiated stealing, removing the Shared structure from the hot
+// path entirely.
 package deque
 
 import "sync"
 
-// ring is a growable circular buffer. Not safe for concurrent use; callers
-// hold their own lock.
+// ring is a growable circular buffer. Capacity is always a power of two
+// (grow doubles from 8), so index wrap is a mask instead of a division.
+// Not safe for concurrent use; callers hold their own lock.
 type ring[T any] struct {
 	buf  []T
 	head int // index of oldest element
@@ -34,8 +42,9 @@ func (r *ring[T]) grow() {
 		newCap = 8
 	}
 	buf := make([]T, newCap)
+	mask := len(r.buf) - 1
 	for i := 0; i < r.n; i++ {
-		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		buf[i] = r.buf[(r.head+i)&mask]
 	}
 	r.buf, r.head = buf, 0
 }
@@ -44,7 +53,7 @@ func (r *ring[T]) pushBack(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
 	r.n++
 }
 
@@ -53,7 +62,7 @@ func (r *ring[T]) popBack() (T, bool) {
 	if r.n == 0 {
 		return zero, false
 	}
-	i := (r.head + r.n - 1) % len(r.buf)
+	i := (r.head + r.n - 1) & (len(r.buf) - 1)
 	v := r.buf[i]
 	r.buf[i] = zero // release reference for GC
 	r.n--
@@ -67,7 +76,7 @@ func (r *ring[T]) popFront() (T, bool) {
 	}
 	v := r.buf[r.head]
 	r.buf[r.head] = zero
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	return v, true
 }
@@ -156,7 +165,6 @@ func (d *Shared[T]) StealChunkAppend(dst []T, k int) []T {
 		return dst
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if k > d.r.n {
 		k = d.r.n
 	}
@@ -164,6 +172,7 @@ func (d *Shared[T]) StealChunkAppend(dst []T, k int) []T {
 		v, _ := d.r.popFront()
 		dst = append(dst, v)
 	}
+	d.mu.Unlock()
 	return dst
 }
 

@@ -1,0 +1,122 @@
+package deque
+
+import "sync/atomic"
+
+// Relaxed is a work-stealing queue with multiplicity semantics in the
+// style of Castañeda and Piña (arXiv:2008.04424): it is fully fence-free —
+// every synchronization step is a plain atomic load or store; there is no
+// CAS or any other read-modify-write anywhere, so neither the owner's hot
+// path nor a steal ever spins on contended hardware primitives.
+//
+// The relaxation that buys this: a take is published by *storing* top+1
+// rather than compare-and-swapping it, so two thieves (or a thief and the
+// owner popping the last element) that read the same top may both return
+// the same element. The multiplicity guarantee is one-sided:
+//
+//   - no element is ever lost — top only advances to i+1 via a thread
+//     that has already read element i, so the window [top, bottom) never
+//     skips an untaken element;
+//   - an element may be returned more than once, and a stale thief's
+//     store may even move top backwards, re-exposing recently taken
+//     elements. Every such re-delivery is a duplicate of a previously
+//     delivered element, never garbage.
+//
+// Callers must therefore dedup at dispatch: the goroutine runtime claims
+// each activity with a single atomic flag before running it, and the
+// simulator's batch accounting marks task ids taken. That machinery
+// already exists for exactly-once execution across faults, which is what
+// makes this queue's weaker contract free to adopt.
+//
+// Like ChaseLev: Push and Pop are owner-only, Steal and Len are safe from
+// any goroutine, and the element window lives in a grow-only buffer of
+// atomic pointer slots shared with concurrent readers.
+type Relaxed[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[clBuf[T]]
+}
+
+// NewRelaxed returns an empty queue with a small initial capacity.
+func NewRelaxed[T any]() *Relaxed[T] {
+	d := &Relaxed[T]{}
+	d.buf.Store(newCLBuf[T](8))
+	return d
+}
+
+// Push appends v at the bottom (owner only).
+func (d *Relaxed[T]) Push(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if t > b {
+		// A duplicate take of the last element advanced top past bottom;
+		// resync so the new element lands inside the visible window.
+		b = t
+	}
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.items)) {
+		// Grow: copy the live window into a buffer twice the size. A stale
+		// thief still holding an index below t finds a nil slot in the new
+		// buffer and reports a lost race rather than reading garbage.
+		nb := newCLBuf[T](int64(len(buf.items)) * 2)
+		for i := t; i < b; i++ {
+			nb.store(i, buf.load(i))
+		}
+		d.buf.Store(nb)
+		buf = nb
+	}
+	buf.store(b, &v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes the most recently pushed element (owner only, LIFO). When it
+// races a thief for the last element both may receive it; the dispatch
+// layer dedups.
+func (d *Relaxed[T]) Pop() (T, bool) {
+	var zero T
+	b := d.bottom.Load() - 1
+	t := d.top.Load()
+	if t > b {
+		// Empty: resync bottom with however far the thieves got.
+		d.bottom.Store(t)
+		return zero, false
+	}
+	vp := d.buf.Load().load(b)
+	if t == b {
+		// Last element: take it by plain stores. No CAS — a thief that
+		// read the same top may take it too (multiplicity).
+		d.top.Store(b + 1)
+		d.bottom.Store(b + 1)
+	} else {
+		d.bottom.Store(b)
+	}
+	return *vp, true
+}
+
+// Steal removes the oldest element (any goroutine, FIFO end). It returns
+// false when the queue looks empty or the thief observed a buffer it is
+// too stale for; it never spins and never executes a read-modify-write.
+func (d *Relaxed[T]) Steal() (T, bool) {
+	var zero T
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, false
+	}
+	vp := d.buf.Load().load(t)
+	if vp == nil {
+		// The owner grew the buffer past this index; the element was
+		// copied only if still live, so it is owned by someone else now.
+		return zero, false
+	}
+	d.top.Store(t + 1)
+	return *vp, true
+}
+
+// Len returns an instantaneous (racy) size estimate.
+func (d *Relaxed[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -12,6 +12,7 @@ import (
 
 	"distws/internal/apps"
 	"distws/internal/apps/suite"
+	"distws/internal/deque"
 	"distws/internal/metrics"
 	"distws/internal/sched"
 	"distws/internal/sim"
@@ -29,6 +30,16 @@ type Runner struct {
 	Seed    int64
 	Cluster topology.Cluster
 	Apps    []apps.App
+
+	// Deque selects the simulated worker-queue synchronization kind for
+	// every cell the runner executes (see sim.Options.Deque). The zero
+	// value is the paper-faithful mutex deque. Without
+	// sim.Options.LockContention the kind only models synchronization
+	// cost that the paper configuration does not charge, so every exhibit
+	// is byte-identical across kinds — the cross-kind parity gate in
+	// `make check` pins that down. Only the contention study, which turns
+	// LockContention on, separates the kinds.
+	Deque deque.Kind
 
 	// Workers bounds how many simulation cells run concurrently. Zero
 	// means GOMAXPROCS; 1 forces fully sequential execution (useful to
@@ -147,7 +158,7 @@ func (r *Runner) simulate(a apps.App, places int, policy sched.Kind) (*sim.Resul
 		return nil, fmt.Errorf("expt: trace %s: %w", a.Name(), err)
 	}
 	cl := r.Cluster.WithPlaces(places)
-	res, err := sim.Run(g, cl, policy, sim.Options{Seed: r.Seed})
+	res, err := sim.Run(g, cl, policy, sim.Options{Seed: r.Seed, Deque: r.Deque})
 	if err != nil {
 		return nil, fmt.Errorf("expt: sim %s/%v: %w", a.Name(), policy, err)
 	}
@@ -668,7 +679,7 @@ func (r *Runner) UTSStudy() ([]UTSRow, error) {
 	policies := []sched.Kind{sched.RandomWS, sched.LifelineWS, sched.DistWS}
 	rows := make([]UTSRow, len(policies))
 	err = r.forEach(len(policies), func(i int) error {
-		res, err := sim.Run(g, r.Cluster, policies[i], sim.Options{Seed: r.Seed})
+		res, err := sim.Run(g, r.Cluster, policies[i], sim.Options{Seed: r.Seed, Deque: r.Deque})
 		if err != nil {
 			return err
 		}
@@ -777,5 +788,149 @@ func RenderAdaptive(rows []AdaptiveRow) string {
 	}
 	fmt.Fprintf(&b, "%-12s %10.1f %12.1f %10.1f %10.1f\n",
 		"geomean", geomean(agg[0]), geomean(agg[1]), geomean(agg[2]), geomean(agg[3]))
+	return b.String()
+}
+
+// --------------------------------------------------------------------
+// Contention study — shared-queue synchronization under thief pressure.
+
+// ContentionWorkerCounts is the sweep of total virtual worker counts the
+// contention study runs at. The interesting regime starts at the paper's
+// 128 workers and scales past it: the mutex kind's critical section grows
+// linearly with the number of thieves hammering one victim queue, while
+// the fence-free kinds stay flat.
+var ContentionWorkerCounts = []int{128, 256, 512, 1024}
+
+const (
+	// contentionTasksPerWorker scales the workload with the cluster so
+	// thief pressure per queue stays constant across the sweep.
+	contentionTasksPerWorker = 64
+	// contentionTaskCostNS makes tasks fine-grained enough that queue
+	// synchronization, not execution, dominates the victim's timeline.
+	contentionTaskCostNS = 2_000
+)
+
+// contentionGraph builds the contention microbenchmark: fine-grained
+// flexible tasks all homed at place 0, so every other place's workers
+// must pull their share through place 0's shared queue.
+func contentionGraph(workers int) (*trace.Graph, error) {
+	b := trace.NewBuilder(fmt.Sprintf("contention-%dw", workers))
+	for i := 0; i < workers*contentionTasksPerWorker; i++ {
+		b.Root(trace.Task{CostNS: contentionTaskCostNS, Home: 0, Flexible: true})
+	}
+	return b.Graph()
+}
+
+// ContentionCell is one (worker count, deque kind) measurement.
+type ContentionCell struct {
+	Kind       deque.Kind
+	MakespanMS float64
+	// StealThroughput is tasks acquired by thieves per virtual second —
+	// the study's figure of merit. Under saturation every kind migrates
+	// (nearly) the same task population, so throughput differences are
+	// pure synchronization cost.
+	StealThroughput float64
+	RemoteSteals    int64
+	StealRequests   int64
+	Donations       int64
+	DuplicateTakes  int64
+}
+
+// ContentionRow is one worker count across every deque kind, in
+// deque.Kinds() order.
+type ContentionRow struct {
+	Workers int
+	Cells   []ContentionCell
+	// RelaxedOverMutex is the relaxed kind's steal throughput over the
+	// mutex kind's — the headline ratio (acceptance: ≥2x at 512 workers).
+	RelaxedOverMutex float64
+}
+
+// Cell returns the row's measurement for kind k (zero value if absent).
+func (row ContentionRow) Cell(k deque.Kind) ContentionCell {
+	for _, c := range row.Cells {
+		if c.Kind == k {
+			return c
+		}
+	}
+	return ContentionCell{}
+}
+
+// ContentionStudy sweeps ContentionWorkerCounts × deque.Kinds() over the
+// contention microbenchmark with the shared-queue lock simulated
+// (sim.Options.LockContention), under DistWS. This is the one exhibit
+// where Options.Deque changes results; everything else in the suite is
+// deque-kind invariant.
+func (r *Runner) ContentionStudy() ([]ContentionRow, error) {
+	kinds := deque.Kinds()
+	counts := ContentionWorkerCounts
+	graphs := make([]*trace.Graph, len(counts))
+	rows := make([]ContentionRow, len(counts))
+	for i, workers := range counts {
+		g, err := contentionGraph(workers)
+		if err != nil {
+			return nil, fmt.Errorf("expt: contention trace %dw: %w", workers, err)
+		}
+		graphs[i] = g
+		rows[i] = ContentionRow{Workers: workers, Cells: make([]ContentionCell, len(kinds))}
+	}
+	err := r.forEach(len(counts)*len(kinds), func(i int) error {
+		wi, ki := i/len(kinds), i%len(kinds)
+		workers := counts[wi]
+		places := workers / r.Cluster.WorkersPerPlace
+		if places < 1 {
+			places = 1
+		}
+		cl := r.Cluster.WithPlaces(places)
+		res, err := sim.Run(graphs[wi], cl, sched.DistWS, sim.Options{
+			Seed:           r.Seed,
+			LockContention: true,
+			Deque:          kinds[ki],
+		})
+		if err != nil {
+			return fmt.Errorf("expt: contention %dw/%v: %w", workers, kinds[ki], err)
+		}
+		cell := ContentionCell{
+			Kind:           kinds[ki],
+			MakespanMS:     float64(res.MakespanNS) / 1e6,
+			RemoteSteals:   res.Counters.RemoteSteals,
+			StealRequests:  res.Counters.StealRequests,
+			Donations:      res.Counters.Donations,
+			DuplicateTakes: res.Counters.DuplicateTakes,
+		}
+		if res.MakespanNS > 0 {
+			cell.StealThroughput = float64(res.Counters.TasksMigrated) /
+				(float64(res.MakespanNS) / 1e9)
+		}
+		rows[wi].Cells[ki] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		mutex := rows[i].Cell(deque.KindMutex).StealThroughput
+		relaxed := rows[i].Cell(deque.KindRelaxed).StealThroughput
+		if mutex > 0 {
+			rows[i].RelaxedOverMutex = relaxed / mutex
+		}
+	}
+	return rows, nil
+}
+
+// RenderContention formats the contention study.
+func RenderContention(rows []ContentionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Contention — steal throughput under a hammered shared queue (tasks/s acquired by thieves; relaxed target ≥2x mutex at 512 workers)\n")
+	fmt.Fprintf(&b, "%8s %9s %14s %14s %10s %10s %10s %8s\n",
+		"Workers", "Kind", "Makespan(ms)", "StealThru/s", "RemSteals", "Requests", "Donations", "DupTakes")
+	for _, row := range rows {
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, "%8d %9s %14.2f %14.0f %10d %10d %10d %8d\n",
+				row.Workers, c.Kind.String(), c.MakespanMS, c.StealThroughput,
+				c.RemoteSteals, c.StealRequests, c.Donations, c.DuplicateTakes)
+		}
+		fmt.Fprintf(&b, "%8d %9s %14s relaxed/mutex = %.2fx\n", row.Workers, "", "", row.RelaxedOverMutex)
+	}
 	return b.String()
 }

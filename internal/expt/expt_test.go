@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"distws/internal/apps/suite"
+	"distws/internal/deque"
 	"distws/internal/sched"
 	"distws/internal/sim"
 )
@@ -247,6 +248,57 @@ func TestUTSStudyOrdering(t *testing.T) {
 		t.Errorf("DistWS speedup %.2f below RandomWS %.2f on UTS", dws.Speedup, rnd.Speedup)
 	}
 	t.Logf("\n%s", RenderUTS(rows))
+}
+
+// TestContentionStudyRelaxedWins pins the PR's acceptance metric: at 512
+// simulated workers the relaxed queue with receiver-initiated stealing
+// must sustain at least twice the mutex deque's steal throughput, and the
+// advantage must not shrink as the cluster grows. Deterministic: the
+// study runs on seeded virtual time.
+func TestContentionStudyRelaxedWins(t *testing.T) {
+	rows, err := testRunner.ContentionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ContentionWorkerCounts) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(ContentionWorkerCounts))
+	}
+	for _, row := range rows {
+		mutex := row.Cell(deque.KindMutex)
+		chaselev := row.Cell(deque.KindChaseLev)
+		relaxed := row.Cell(deque.KindRelaxed)
+		if relaxed.StealThroughput <= mutex.StealThroughput {
+			t.Errorf("%d workers: relaxed throughput %.0f not above mutex %.0f",
+				row.Workers, relaxed.StealThroughput, mutex.StealThroughput)
+		}
+		// Chase-Lev removes the lock but steals one task per CAS, so its
+		// win shows up as a shorter makespan, not a higher migration rate.
+		if chaselev.MakespanMS >= mutex.MakespanMS {
+			t.Errorf("%d workers: chaselev makespan %.2fms not below mutex %.2fms",
+				row.Workers, chaselev.MakespanMS, mutex.MakespanMS)
+		}
+		if relaxed.StealRequests == 0 || relaxed.Donations == 0 {
+			t.Errorf("%d workers: receiver-initiated counters missing (requests=%d donations=%d)",
+				row.Workers, relaxed.StealRequests, relaxed.Donations)
+		}
+		if mutex.DuplicateTakes != 0 || chaselev.DuplicateTakes != 0 {
+			t.Errorf("%d workers: only relaxed may record duplicate takes", row.Workers)
+		}
+	}
+	var at512 ContentionRow
+	for _, row := range rows {
+		if row.Workers == 512 {
+			at512 = row
+		}
+	}
+	if at512.Workers != 512 {
+		t.Fatal("study must include the 512-worker point")
+	}
+	if at512.RelaxedOverMutex < 2 {
+		t.Errorf("512 workers: relaxed/mutex steal throughput %.2fx, want >= 2x",
+			at512.RelaxedOverMutex)
+	}
+	t.Logf("\n%s", RenderContention(rows))
 }
 
 func TestRendersIncludePaperAnchors(t *testing.T) {

@@ -127,6 +127,13 @@ const (
 	// KindJobDone marks a service job completing and its result being
 	// acked to the submitting client. Arg = the tenant id.
 	KindJobDone
+	// KindDonate marks a busy owner serving a receiver-initiated steal
+	// request by donating half its deque. Arg = number of tasks donated.
+	KindDonate
+	// KindDupTake marks a relaxed-deque duplicate take being discarded
+	// by dispatch-level dedup. Task = the task id (-1 in the real
+	// runtime), Arg = the place that observed the duplicate.
+	KindDupTake
 	numKinds
 )
 
@@ -149,6 +156,8 @@ var kindNames = [...]string{
 	KindJobAdmit:    "job_admit",
 	KindJobReject:   "job_reject",
 	KindJobDone:     "job_done",
+	KindDonate:      "donate",
+	KindDupTake:     "dup_take",
 }
 
 // String returns the stable wire name of the kind (used by the native

@@ -189,6 +189,19 @@ func RemoteChunk(k Kind) int {
 // (§V-B3: stealing multiple tasks locally showed no improvement).
 func LocalChunk(Kind) int { return 1 }
 
+// StealHalf returns how many tasks a donor hands over from a queue of n
+// under the receiver-initiated protocol's steal-half chunking (WSPDR
+// style): half the queue rounded up, so a donor with any flexible work
+// always donates at least one task and the two sides end up balanced.
+// Unlike RemoteChunk's fixed sizes, the donation scales with the victim's
+// actual surplus — deep queues split in one round trip.
+func StealHalf(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + 1) / 2
+}
+
 // VictimOrder returns the order in which a thief at place self probes the
 // other places' shared deques. DistWS and DistWS-NS sweep all places in a
 // randomized order (the thief tracks visited places per Algorithm 1 lines

@@ -64,6 +64,24 @@ type Options struct {
 	// thousands of cycles"). Off by default; enable to study contention
 	// on fine-grained workloads.
 	LockContention bool
+	// Deque selects the worker-queue synchronization model for the
+	// contention study. It is consulted only when LockContention is on —
+	// the scheduling decisions never change, only the modelled cost of
+	// shared-queue operations — so without LockContention every kind
+	// reproduces the paper-faithful run bit for bit. Under contention:
+	//
+	//   - deque.KindMutex (zero value): the paper's mutex-guarded deque —
+	//     every operation serializes through the place's lock.
+	//   - deque.KindChaseLev: lock-free Chase–Lev — owner-side dequeues
+	//     pay only a fence, steals serialize through a CAS window a
+	//     quarter the lock's width.
+	//   - deque.KindRelaxed: fence-free queues with receiver-initiated
+	//     stealing — no serialization at all; thieves post a request and
+	//     receive a steal-half donation, and the multiplicity relaxation
+	//     occasionally (deterministically, from the thief's rng stream)
+	//     hands a task out twice; the duplicate is paid for in transfer
+	//     and then discarded by dedup, never executed twice.
+	Deque deque.Kind
 	// Fault is the injected fault plan: place crashes in virtual time (or
 	// after a task count), message loss and latency spikes on the steal
 	// path. Nil simulates a fault-free cluster. Crashed places stop
@@ -275,6 +293,13 @@ type engine struct {
 	stealBuf  []int
 	aliasBuf  []uint64
 	batchPool [][]int
+	// obsBuf accumulates one steal sweep's probe outcomes for a single
+	// locked hand-off to the adapt controller (sched.Adaptive only).
+	// When the controller is unsynchronized (obsDirect) the batching
+	// would amortize nothing, so observations are fed per probe instead —
+	// same order, same state, no struct copies.
+	obsBuf    []adapt.StealObservation
+	obsDirect bool
 }
 
 // getBatch returns a recycled evArrive payload slice (possibly nil; callers
@@ -307,6 +332,9 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 	if !sched.Valid(policy) {
 		return nil, fmt.Errorf("sim: invalid policy %v", policy)
 	}
+	if !opts.Deque.Valid() {
+		return nil, fmt.Errorf("sim: invalid deque kind %v", opts.Deque)
+	}
 	opts = opts.withDefaults()
 	if err := opts.Fault.Validate(cl.Places); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -324,15 +352,26 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 	if policy == sched.Adaptive {
 		e.ctrl = opts.Adapt
 		if e.ctrl == nil {
-			e.ctrl = adapt.New(adapt.Config{Places: cl.Places})
+			// The event loop is one goroutine, so its private controller
+			// can skip internal locking.
+			e.ctrl = adapt.New(adapt.Config{Places: cl.Places, Unsynchronized: true})
 		}
+		e.obsDirect = e.ctrl.Unsynchronized()
 		// Kinds are interned up front from observable task descriptors —
 		// never from the Flexible annotation, which the adaptive policy
-		// must not read.
+		// must not read. Signatures collapse to a handful of kinds, so a
+		// local memo keeps this loop off the controller mutex.
 		e.taskKind = make([]int32, len(g.Tasks))
+		memo := make(map[uint64]int32, 16)
 		for i := range g.Tasks {
 			t := &g.Tasks[i]
-			e.taskKind[i] = e.ctrl.Intern(adapt.Signature(t.CostNS, len(t.Blocks), t.MigMsgs, t.MigBytes))
+			sig := adapt.Signature(t.CostNS, len(t.Blocks), t.MigMsgs, t.MigBytes)
+			id, ok := memo[sig]
+			if !ok {
+				id = e.ctrl.Intern(sig)
+				memo[sig] = id
+			}
+			e.taskKind[i] = id
 		}
 	}
 	e.resolvedHome = make([]int, len(g.Tasks))
@@ -847,7 +886,7 @@ func (e *engine) findWork(w *simWorker) {
 	// place's designated deque is a normal dequeue, not a steal.
 	if id, ok := p.shared.Poll(); ok {
 		p.queued--
-		e.start(w, id, e.sharedDequeDelay(p)+over.DispatchNS)
+		e.start(w, id, e.sharedDequeDelay(p, false)+over.DispatchNS)
 		return
 	}
 	// 4. Distributed steal.
@@ -884,6 +923,7 @@ func (e *engine) stealRemote(w *simWorker) bool {
 	}
 	var delay int64
 	probeRTT := e.cl.Net.RoundTripNS(32, 32)
+	receiver := e.opts.LockContention && e.opts.Deque == deque.KindRelaxed
 	if w.rng == nil {
 		w.rng = rand.New(rand.NewSource(e.opts.Seed + int64(w.place.id*1000+w.local)))
 	}
@@ -895,6 +935,10 @@ func (e *engine) stealRemote(w *simWorker) bool {
 	} else {
 		w.victims = sched.AppendVictimOrder(w.victims[:0], e.policy, w.place.id, len(e.places), w.rng)
 	}
+	// Per-probe counters accumulate in locals and flush once per sweep: a
+	// sweep probes up to places-1 victims and the two atomic adds per
+	// probe were a measurable slice of the sweep in profiles.
+	var probes, messages int64
 	for _, v := range w.victims {
 		victim := e.places[v]
 		if victim.dead || victim.draining {
@@ -903,9 +947,17 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		probeStart := delay
 		ok := true
 		for attempt := 0; ; attempt++ {
-			e.ctrs.RemoteProbes.Add(1)
-			e.ctrs.Messages.Add(2)
+			probes++
+			messages += 2
 			e.record(w.place.id, w.local, obs.KindProbe, -1, int32(v), 0)
+			if e.inj == nil {
+				// Fault-free fast path — no partitions, drops, spikes,
+				// gray links, or duplicated replies to consult. This is
+				// the paper-faithful configuration, so it skips the
+				// injector's per-direction no-op calls entirely.
+				delay += probeRTT
+				break
+			}
 			if e.inj.PartitionedAt(w.place.id, v, e.now+delay) ||
 				e.inj.Drop(w.place.id, v) || e.inj.Drop(v, w.place.id) {
 				// Request or reply lost — to a link fault or an active
@@ -928,27 +980,53 @@ func (e *engine) stealRemote(w *simWorker) bool {
 			if e.inj.Duplicate(v, w.place.id) {
 				// The reply arrives twice; dedup absorbs the copy, but the
 				// extra message is real traffic.
-				e.ctrs.Messages.Add(1)
+				messages++
 				e.ctrs.DuplicatedMessages.Add(1)
 			}
 			break
 		}
 		if !ok {
 			if e.ctrl != nil {
-				e.ctrl.ObserveSteal(w.place.id, v, delay-probeStart, 0, 0)
+				e.observeSteal(w.place.id, v, delay-probeStart, 0, 0)
 			}
 			continue
+		}
+		if receiver {
+			// Receiver-initiated protocol: the probe round trip already
+			// modelled above is the request/donate exchange — the thief
+			// posts into a victim worker's mailbox and the owner answers
+			// with half its queue at its next task boundary.
+			e.ctrs.StealRequests.Add(1)
+			chunkSize = sched.StealHalf(victim.shared.Len())
 		}
 		chunk := victim.shared.StealChunkAppend(e.stealBuf[:0], chunkSize)
 		e.stealBuf = chunk[:0]
+		if receiver && len(chunk) > 0 {
+			e.ctrs.Donations.Add(1)
+			if w.rng.Intn(relaxedDupOneIn) == 0 {
+				// Multiplicity: the donation's last task was concurrently
+				// retaken at the victim — the thief's copy is a duplicate.
+				// Dedup discards it on arrival (it is never executed
+				// twice), but its transfer was paid for; the real task
+				// stays with the victim.
+				dup := chunk[len(chunk)-1]
+				chunk = chunk[:len(chunk)-1]
+				victim.shared.Push(dup)
+				e.ctrs.DuplicateTakes.Add(1)
+				bytes := e.g.Tasks[dup].MigBytes
+				e.ctrs.BytesTransferred.Add(int64(bytes))
+				delay += e.cl.Net.TransferNS(bytes)
+			}
+		}
 		if len(chunk) == 0 {
 			if e.ctrl != nil {
-				e.ctrl.ObserveSteal(w.place.id, v, delay-probeStart, 0, 0)
+				e.observeSteal(w.place.id, v, delay-probeStart, 0, 0)
 			}
 			continue
 		}
-		// Holding the victim's shared-deque lock for the removal.
-		delay += e.sharedDequeDelay(victim) - e.cl.Over.SharedDequeNS
+		// Holding the victim's shared-deque lock (or CAS window) for the
+		// removal; the width already priced into the probe RTT is excluded.
+		delay += e.stealDequeExtraNS(victim)
 		victim.queued -= len(chunk)
 		e.ctrs.RemoteSteals.Add(int64(len(chunk)))
 		var bytes int
@@ -958,34 +1036,119 @@ func (e *engine) stealRemote(w *simWorker) bool {
 		delay += e.cl.Net.TransferNS(bytes)
 		e.ctrs.BytesTransferred.Add(int64(bytes))
 		if e.ctrl != nil {
-			e.ctrl.ObserveSteal(w.place.id, v, delay-probeStart, len(chunk), victim.shared.Len())
+			e.observeSteal(w.place.id, v, delay-probeStart, len(chunk), victim.shared.Len())
+			e.flushStealObs()
 		}
 		e.record(w.place.id, w.local, obs.KindStealRemote, int32(chunk[0]), int32(v), delay)
 		if len(chunk) > 1 {
 			batch := append(e.getBatch(), chunk[1:]...)
 			e.push(event{at: e.now + delay, kind: evArrive, place: w.place.id, batch: batch})
 		}
+		e.ctrs.RemoteProbes.Add(probes)
+		e.ctrs.Messages.Add(messages)
 		e.start(w, chunk[0], delay)
 		return true
+	}
+	e.ctrs.RemoteProbes.Add(probes)
+	e.ctrs.Messages.Add(messages)
+	if e.ctrl != nil {
+		e.flushStealObs()
 	}
 	return false
 }
 
+// observeSteal feeds one probe outcome to the adapt controller. An
+// unsynchronized controller takes it directly — no mutex to amortize, so
+// buffering would only add struct copies. A synchronized (shared)
+// controller gets the sweep's outcomes accumulated into obsBuf for a
+// single locked hand-off in flushStealObs; observation order, and thus
+// every controller decision, is identical either way — no controller
+// state is read between a sweep's first probe and its flush.
+func (e *engine) observeSteal(thief, victim int, latencyNS int64, got, victimLeft int) {
+	if e.obsDirect {
+		e.ctrl.ObserveSteal(thief, victim, latencyNS, got, victimLeft)
+		return
+	}
+	e.obsBuf = append(e.obsBuf, adapt.StealObservation{
+		Thief: thief, Victim: victim, LatencyNS: latencyNS,
+		Got: got, VictimLeft: victimLeft})
+}
+
+// flushStealObs hands the sweep's accumulated probe outcomes to the
+// controller in one locked batch (a no-op for an unsynchronized
+// controller, whose observations were fed directly).
+func (e *engine) flushStealObs() {
+	if len(e.obsBuf) == 0 {
+		return
+	}
+	e.ctrl.ObserveStealBatch(e.obsBuf)
+	e.obsBuf = e.obsBuf[:0]
+}
+
 // sharedDequeDelay returns the cost of one shared-deque operation at p:
 // the base lock cost plus, under LockContention, the wait for the lock
-// to free (operations serialize through it).
-func (e *engine) sharedDequeDelay(p *simPlace) int64 {
+// to free (operations serialize through it). steal distinguishes a
+// remote thief's removal from an owner-side dequeue — the lock-free
+// kinds price the two differently (the mutex kind does not care).
+func (e *engine) sharedDequeDelay(p *simPlace, steal bool) int64 {
 	base := e.cl.Over.SharedDequeNS
 	if !e.opts.LockContention {
 		return base
 	}
+	switch e.opts.Deque {
+	case deque.KindChaseLev:
+		// Owner-side take: a fence, no lock, no waiting. Steals contend
+		// only on the CAS advancing top — a critical section a quarter
+		// the mutex's width.
+		if !steal {
+			return base / 4
+		}
+		return e.serializeDeque(p, base/4)
+	case deque.KindRelaxed:
+		// Fence-free loads and stores only: no CAS, no serialization,
+		// for owners and thieves alike. The price is paid elsewhere —
+		// in occasional duplicate takes (multiplicity).
+		return base / 8
+	default:
+		return e.serializeDeque(p, base)
+	}
+}
+
+// serializeDeque charges one critical section of width cost at p's
+// shared deque: the operation waits for the lock (or CAS window) to
+// free, then holds it for cost.
+func (e *engine) serializeDeque(p *simPlace, cost int64) int64 {
 	start := e.now
 	if p.lockFreeAt > start {
 		start = p.lockFreeAt
 	}
-	p.lockFreeAt = start + base
-	return (start - e.now) + base
+	p.lockFreeAt = start + cost
+	return (start - e.now) + cost
 }
+
+// stealDequeExtraNS returns what a remote removal costs beyond the base
+// operation width already priced into the probe round trip: the wait for
+// the victim's lock (mutex) or CAS window (Chase–Lev) to free. The
+// relaxed kind never serializes, so its extra is zero.
+func (e *engine) stealDequeExtraNS(victim *simPlace) int64 {
+	if !e.opts.LockContention {
+		return 0
+	}
+	switch e.opts.Deque {
+	case deque.KindChaseLev:
+		return e.serializeDeque(victim, e.cl.Over.SharedDequeNS/4) - e.cl.Over.SharedDequeNS/4
+	case deque.KindRelaxed:
+		return 0
+	default:
+		return e.serializeDeque(victim, e.cl.Over.SharedDequeNS) - e.cl.Over.SharedDequeNS
+	}
+}
+
+// relaxedDupOneIn is the modelled odds of a multiplicity duplicate per
+// donation under the relaxed deques: one donated chunk in 64 hands its
+// last task out twice. The draw comes from the thief's deterministic rng
+// stream, so runs stay reproducible.
+const relaxedDupOneIn = 64
 
 // registerLifelines marks p on its hypercube neighbours (LifelineWS).
 // A neighbour that has crashed is re-homed: the registration goes to the

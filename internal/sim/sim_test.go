@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"distws/internal/deque"
 	"distws/internal/sched"
 	"distws/internal/topology"
 	"distws/internal/trace"
@@ -449,5 +450,86 @@ func TestWorkConservationInvariants(t *testing.T) {
 				t.Fatalf("%v on %v: makespan below the work lower bound", k, cl)
 			}
 		}
+	}
+}
+
+func TestDequeKindsInertWithoutContention(t *testing.T) {
+	// Options.Deque models synchronization cost only, and only under
+	// LockContention: the paper-faithful configuration must reproduce
+	// bit-identical results whatever kind is selected, or the experiment
+	// suite's cross-kind parity gate (make check) would fail.
+	g := flatGraph(t, 1024, 20_000, 0, 1, true)
+	cl := cluster(4, 4)
+	base, err := Run(g, cl, sched.DistWS, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range deque.Kinds() {
+		r, err := Run(g, cl, sched.DistWS, Options{Seed: 7, Deque: k})
+		if err != nil {
+			t.Fatalf("Run(%v): %v", k, err)
+		}
+		if r.MakespanNS != base.MakespanNS || r.Counters != base.Counters {
+			t.Fatalf("deque kind %v changed an uncontended run:\n got %+v\nwant %+v",
+				k, r.Counters, base.Counters)
+		}
+	}
+}
+
+func TestInvalidDequeKindRejected(t *testing.T) {
+	g := flatGraph(t, 4, 1000, 0, 1, true)
+	if _, err := Run(g, cluster(1, 1), sched.DistWS, Options{Seed: 1, Deque: deque.Kind(99)}); err == nil {
+		t.Fatal("Run should reject an invalid deque kind")
+	}
+}
+
+// TestRelaxedReceiverBeatsMutexUnderContention is the unit-scale version
+// of the contention study: fine-grained flexible work homed at one place,
+// many remote thieves, the shared-queue lock serialized. The lock-free
+// kinds must shorten the makespan monotonically (mutex ≥ chaselev ≥
+// relaxed), and the relaxed run must show the receiver-initiated
+// protocol's counters: requests posted, donations served, and the
+// occasional deterministic duplicate take absorbed by dedup (executed
+// exactly once regardless).
+func TestRelaxedReceiverBeatsMutexUnderContention(t *testing.T) {
+	g := flatGraph(t, 8192, 2_000, 0, 1, true)
+	cl := cluster(8, 8)
+	run := func(k deque.Kind) *Result {
+		r, err := Run(g, cl, sched.DistWS, Options{Seed: 7, LockContention: true, Deque: k})
+		if err != nil {
+			t.Fatalf("Run(%v): %v", k, err)
+		}
+		if r.Counters.TasksExecuted != 8192 {
+			t.Fatalf("%v executed %d tasks, want 8192", k, r.Counters.TasksExecuted)
+		}
+		return r
+	}
+	mutex := run(deque.KindMutex)
+	chaselev := run(deque.KindChaseLev)
+	relaxed := run(deque.KindRelaxed)
+	if chaselev.MakespanNS >= mutex.MakespanNS {
+		t.Errorf("chaselev should beat mutex under contention: %d vs %d",
+			chaselev.MakespanNS, mutex.MakespanNS)
+	}
+	if relaxed.MakespanNS >= mutex.MakespanNS {
+		t.Errorf("relaxed should beat mutex under contention: %d vs %d",
+			relaxed.MakespanNS, mutex.MakespanNS)
+	}
+	if relaxed.Counters.StealRequests == 0 || relaxed.Counters.Donations == 0 {
+		t.Errorf("receiver-initiated counters missing: requests=%d donations=%d",
+			relaxed.Counters.StealRequests, relaxed.Counters.Donations)
+	}
+	if mutex.Counters.DuplicateTakes != 0 || chaselev.Counters.DuplicateTakes != 0 {
+		t.Errorf("only the relaxed kind may take duplicates: mutex=%d chaselev=%d",
+			mutex.Counters.DuplicateTakes, chaselev.Counters.DuplicateTakes)
+	}
+	// Determinism: the duplicate-take draws come from seeded rng streams.
+	again, err := Run(g, cl, sched.DistWS, Options{Seed: 7, LockContention: true, Deque: deque.KindRelaxed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MakespanNS != relaxed.MakespanNS || again.Counters != relaxed.Counters {
+		t.Fatalf("relaxed contention run not deterministic:\n got %+v\nwant %+v",
+			again.Counters, relaxed.Counters)
 	}
 }
