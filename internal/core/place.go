@@ -113,11 +113,26 @@ func (p *place) queuesEmpty() bool {
 		return false
 	}
 	for _, w := range p.workers {
-		if w.priv.Len() != 0 || w.flex.Len() != 0 {
+		if w.priv.Len() != 0 || w.inbox.Len() != 0 || w.flex.Len() != 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// donatable reports whether any worker's flexible queue holds work a
+// receiver-initiated donation could hand out. Remote thieves use this for
+// their skip heuristic instead of the queued counter: duplicate takes
+// under multiplicity drift that counter (serveMail decrements for a task
+// whose other copy was already claimed and decremented), and a negative
+// drift would otherwise hide a victim with real backlog from every remote
+// thief permanently.
+func (p *place) donatable() int {
+	n := 0
+	for _, w := range p.workers {
+		n += w.flex.Len()
+	}
+	return n
 }
 
 func (p *place) startWorkers() {
@@ -131,13 +146,19 @@ func (p *place) startWorkers() {
 	}
 }
 
-// load captures the Algorithm-1 inputs for task mapping.
+// load captures the Algorithm-1 inputs for task mapping. The queued
+// counter can drift negative under the relaxed queues' duplicate takes;
+// clamp it so a drifted place does not under-report its Size.
 func (p *place) load() sched.PlaceLoad {
 	running := int(p.running.Load())
+	queued := int(p.queued.Load())
+	if queued < 0 {
+		queued = 0
+	}
 	return sched.PlaceLoad{
 		Active:     p.active.Load(),
 		Spares:     p.rt.cfg.Cluster.WorkersPerPlace - running,
-		Size:       running + int(p.queued.Load()),
+		Size:       running + queued,
 		MaxThreads: p.rt.cfg.MaxThreads,
 	}
 }
@@ -165,12 +186,19 @@ func (p *place) enqueue(a *activity, target sched.Target, spawner *worker) {
 			p.shared.Push(a)
 			p.serveLifelines()
 		}
-	} else {
-		w := spawner
-		if w == nil || w.place != p {
-			w = p.workers[int(p.rrWorker.Add(1))%len(p.workers)]
-		}
+	} else if w := spawner; w != nil && w.place == p {
+		// The spawning worker pushes onto its own private deque — the
+		// only caller the lock-free kinds' owner-only Push contract
+		// admits.
 		w.priv.Push(a)
+	} else {
+		// External submit, cross-place spawn, or re-homed orphan: a
+		// foreign Push racing the owner on a ChaseLev/Relaxed priv deque
+		// races on bottom and can drop or duplicate tasks, so foreign
+		// affinitized arrivals go through a round-robin-chosen worker's
+		// mutex-guarded inbox instead.
+		w := p.workers[int(p.rrWorker.Add(1))%len(p.workers)]
+		w.inbox.Push(a)
 	}
 	p.wakeAll()
 	// A spawn racing the place's crash or drain may land after the
@@ -269,6 +297,13 @@ type worker struct {
 	place *place
 	local int // index within the place
 	priv  deque.WorkQueue[*activity]
+	// inbox receives affinitized tasks pushed by anyone other than this
+	// worker's own goroutine — external submits, cross-place spawns,
+	// re-homed orphans. Push/Pop on the lock-free priv kinds are
+	// owner-only, so foreign enqueues must not touch priv; the inbox is
+	// mutex-guarded and safe from any goroutine. The owner drains it once
+	// its own priv is empty, and co-located thieves may steal from it.
+	inbox deque.Private[*activity]
 	cache *cachesim.Cache
 	rng   *rand.Rand
 	// victims is sweep-order scratch reused across adaptive remote
@@ -398,6 +433,17 @@ func (w *worker) findWork() (*activity, stealKind) {
 			return a, tookOwn
 		}
 	}
+	// 1a. Own inbox: foreign affinitized arrivals (FIFO — oldest first).
+	for {
+		a, ok := w.inbox.Steal()
+		if !ok {
+			break
+		}
+		if w.claim(a) {
+			p.queued.Add(-1)
+			return a, tookOwn
+		}
+	}
 	// 1b. Own flexible queue (receiver-initiated mode).
 	if rcv {
 		for {
@@ -411,11 +457,17 @@ func (w *worker) findWork() (*activity, stealKind) {
 			}
 		}
 	}
-	// 2. Steal from co-located workers' private (and, in receiver mode,
-	// flexible) deques (line 12).
+	// 2. Steal from co-located workers' private deques, inboxes and, in
+	// receiver mode, flexible queues (line 12). Affinity is place-level,
+	// so a peer's inbox is fair game for a co-located thief.
 	for off := 1; off < len(p.workers); off++ {
 		peer := p.workers[(w.local+off)%len(p.workers)]
 		if a, ok := peer.priv.Steal(); ok && w.claim(a) {
+			p.queued.Add(-1)
+			p.rt.record(p.id, w.local, obs.KindStealLocal, -1, int32(peer.local), 0)
+			return a, tookLocalSteal
+		}
+		if a, ok := peer.inbox.Steal(); ok && w.claim(a) {
 			p.queued.Add(-1)
 			p.rt.record(p.id, w.local, obs.KindStealLocal, -1, int32(peer.local), 0)
 			return a, tookLocalSteal
@@ -541,7 +593,7 @@ func (w *worker) stealRemoteReceiver() *activity {
 		if victim.dead.Load() || victim.draining.Load() {
 			continue
 		}
-		if victim.queued.Load() <= 0 {
+		if victim.donatable() == 0 {
 			continue // nothing to donate; don't park a request for nothing
 		}
 		var probeStart time.Time
@@ -557,7 +609,7 @@ func (w *worker) stealRemoteReceiver() *activity {
 		}
 		if rt.ctrl != nil {
 			rt.ctrl.ObserveSteal(w.place.id, v, time.Since(probeStart).Nanoseconds(),
-				len(chunk), int(victim.queued.Load()))
+				len(chunk), victim.donatable())
 		}
 		rt.counters.RemoteSteals.Add(int64(len(chunk)))
 		if rt.rec != nil {
@@ -665,6 +717,16 @@ func (w *worker) receiverProbe(victim *place) []*activity {
 			}
 			return <-req.reply
 		case <-rt.stopCh:
+			if target.mail.CompareAndSwap(req, nil) {
+				return nil
+			}
+			// The owner claimed the request before we could withdraw it:
+			// a donation (already deducted from the victim's accounting)
+			// is in flight on the buffered reply. Drain it and re-home
+			// the tasks rather than dropping them on the floor.
+			if chunk := <-req.reply; len(chunk) > 0 {
+				w.place.enqueueStolen(chunk)
+			}
 			return nil
 		}
 	}

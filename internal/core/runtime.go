@@ -457,6 +457,13 @@ func (rt *Runtime) rehomeQueued(p *place, reexec bool) {
 			}
 			orphans = append(orphans, a)
 		}
+		for {
+			a, ok := w.inbox.Steal()
+			if !ok {
+				break
+			}
+			orphans = append(orphans, a)
+		}
 		if w.flex != nil {
 			for {
 				a, ok := w.flex.Steal()

@@ -57,7 +57,16 @@ func (d *Relaxed[T]) Push(v T) {
 		// Grow: copy the live window into a buffer twice the size. A stale
 		// thief still holding an index below t finds a nil slot in the new
 		// buffer and reports a lost race rather than reading garbage.
-		nb := newCLBuf[T](int64(len(buf.items)) * 2)
+		//
+		// A stale thief's backwards top store can widen b-t beyond twice
+		// the old capacity, so doubling once is not always enough: keep
+		// doubling until the whole window fits, or the copy loop would
+		// wrap the power-of-two mask and overwrite live slots.
+		newCap := int64(len(buf.items)) * 2
+		for b-t >= newCap {
+			newCap *= 2
+		}
+		nb := newCLBuf[T](newCap)
 		for i := t; i < b; i++ {
 			nb.store(i, buf.load(i))
 		}
@@ -81,6 +90,16 @@ func (d *Relaxed[T]) Pop() (T, bool) {
 		return zero, false
 	}
 	vp := d.buf.Load().load(b)
+	if vp == nil {
+		// A stale thief's backwards top store re-exposed indices a grow
+		// discarded; a nil slot proves b predates the grow-time top, so
+		// everything at or below it was already taken. Collapse the
+		// window to empty at b+1 (top never legitimately exceeded
+		// bottom, so this store cannot skip a live element).
+		d.top.Store(b + 1)
+		d.bottom.Store(b + 1)
+		return zero, false
+	}
 	if t == b {
 		// Last element: take it by plain stores. No CAS — a thief that
 		// read the same top may take it too (multiplicity).

@@ -193,6 +193,97 @@ func TestRelaxedMultiplicityDedupedByBatchAccounting(t *testing.T) {
 	}
 }
 
+// A stale thief's backwards top store may re-expose indices a grow
+// discarded — their slots are nil in the new buffer. The owner draining
+// down past the grow point must treat a nil slot as already-taken and
+// resync, not dereference it.
+func TestRelaxedPopSurvivesStaleTopAfterGrow(t *testing.T) {
+	d := NewRelaxed[int]()
+	// Advance top to 4, then fill until the initial capacity (8) forces a
+	// grow: the new buffer's slots below index 4 stay nil.
+	for i := 0; i < 4; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := d.Steal(); !ok {
+			t.Fatalf("setup Steal %d failed", i)
+		}
+	}
+	for i := 4; i < 13; i++ {
+		d.Push(i)
+	}
+	// Simulate the stale thief: top regresses to 0, re-exposing the nil
+	// slots 0..3 to the owner.
+	d.top.Store(0)
+	seen := map[int]bool{}
+	for {
+		v, ok := d.Pop() // must not panic on the nil slots
+		if !ok {
+			break
+		}
+		seen[v] = true
+	}
+	for i := 4; i < 13; i++ {
+		if !seen[i] {
+			t.Fatalf("element %d lost draining past the grow point", i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", d.Len())
+	}
+	// The queue must remain usable after the resync.
+	d.Push(99)
+	if v, ok := d.Pop(); !ok || v != 99 {
+		t.Fatalf("Pop after resync = %d,%v, want 99,true", v, ok)
+	}
+}
+
+// A stale thief's backwards top store can widen bottom-top beyond twice
+// the current capacity; the grow must keep doubling until the window fits
+// instead of wrapping the mask and overwriting live slots.
+func TestRelaxedGrowWithStaleTopKeepsLiveElements(t *testing.T) {
+	d := NewRelaxed[int]()
+	// Walk top and bottom to 16 without growing (capacity stays 8), then
+	// queue 7 live elements.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 4; i++ {
+			d.Push(-1)
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := d.Steal(); !ok {
+				t.Fatalf("setup Steal failed")
+			}
+		}
+	}
+	for i := 0; i < 7; i++ {
+		d.Push(100 + i)
+	}
+	// Stale thief regresses top to 0: bottom-top = 23 > 2*cap = 16, so
+	// the next Push must grow past a single doubling.
+	d.top.Store(0)
+	d.Push(107)
+	seen := map[int]bool{}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		seen[v] = true
+	}
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 8; i++ {
+		if !seen[100+i] {
+			t.Fatalf("live element %d lost across the over-wide grow", 100+i)
+		}
+	}
+}
+
 func BenchmarkRelaxedPushPop(b *testing.B) {
 	d := NewRelaxed[int]()
 	for i := 0; i < b.N; i++ {
