@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke fuzz-smoke deque-parity chaos soak serve-soak
+.PHONY: all build test race vet check bench bench-smoke fuzz-smoke deque-parity dag-parity chaos soak serve-soak
 
 all: check
 
@@ -47,16 +47,31 @@ deque-parity: build
 	cmp "$$dir/mutex.txt" "$$dir/relaxed.txt"; \
 	echo "deque parity OK: exhibits byte-identical across mutex, chaselev, relaxed"
 
+# Dataflow determinism gate: the dag exhibit replays virtual time, so its
+# output must be byte-identical whatever -workers parallelism renders it
+# and whatever -deque kind backs the shared queues. A diff means host
+# scheduling or the deque kind leaked into the DAG results.
+dag-parity: build
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	for k in mutex chaselev relaxed; do for w in 1 2 8; do \
+		$(GO) run ./cmd/distws-experiments -deque $$k -workers $$w -only dag \
+			| grep -v '^regenerated ' > "$$dir/$$k-$$w.txt"; \
+	done; done; \
+	for f in "$$dir"/*.txt; do cmp "$$dir/mutex-1.txt" "$$f"; done; \
+	echo "dag parity OK: exhibit byte-identical across deque kinds and worker counts"
+
 # 30-second coverage-guided shakes of the binary wire codecs: the TCP
-# transport frame and the service job/reply frames both face untrusted
-# bytes, so malformed input must only ever produce typed errors, never a
-# panic or an over-allocation.
+# transport frame, the service job/reply frames, and the task envelope
+# (DAG dataflow fields included) all face untrusted bytes, so malformed
+# input must only ever produce typed errors, never a panic or an
+# over-allocation.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWireFrame -fuzztime=30s ./internal/comm
 	$(GO) test -run='^$$' -fuzz=FuzzServiceFrame -fuzztime=30s ./internal/service
+	$(GO) test -run='^$$' -fuzz=FuzzDAGEnvelope -fuzztime=30s ./internal/task
 
 # The gate a change must pass before merging.
-check: build vet test race bench-smoke deque-parity fuzz-smoke
+check: build vet test race bench-smoke deque-parity dag-parity fuzz-smoke
 
 # Full measurement: refreshes the machine-readable perf baseline
 # (BENCH_sim.json) and prints the per-exhibit Go benchmarks, including the

@@ -24,6 +24,7 @@ import (
 	"distws/internal/apps/suite"
 	"distws/internal/cliutil"
 	"distws/internal/comm"
+	"distws/internal/dag"
 	"distws/internal/deque"
 	"distws/internal/expt"
 	"distws/internal/obs"
@@ -97,6 +98,27 @@ type report struct {
 	Contention256  contentionPoint `json:"contention_256_workers"`
 	Contention512  contentionPoint `json:"contention_512_workers"`
 	Contention1024 contentionPoint `json:"contention_1024_workers"`
+
+	// DAGCholesky/DAGLu/DAGPipeline are the dataflow study
+	// (expt.DAGStudy): tiled linear-algebra graphs released through the
+	// dependency tracker, one point per app comparing locality-blind and
+	// data-aware placement. The acceptance gate this file records:
+	// data-aware beats blind on Cholesky on both makespan and migrated
+	// bytes at seed 1 (TestDAGStudyDataAwareWinsOnCholesky pins it).
+	DAGCholesky dagPoint `json:"dag_cholesky"`
+	DAGLu       dagPoint `json:"dag_lu"`
+	DAGPipeline dagPoint `json:"dag_pipeline"`
+}
+
+// dagPoint is one dataflow app's blind-versus-aware comparison in
+// BENCH_sim.json.
+type dagPoint struct {
+	BlindMakespanMS    float64 `json:"blind_makespan_ms"`
+	AwareMakespanMS    float64 `json:"aware_makespan_ms"`
+	BlindMigratedBytes int64   `json:"blind_migrated_bytes"`
+	AwareMigratedBytes int64   `json:"aware_migrated_bytes"`
+	AwareSpeedup       float64 `json:"aware_speedup"`
+	BytesSavedPct      float64 `json:"bytes_saved_pct"`
 }
 
 // contentionPoint is one worker count of the contention study in
@@ -462,6 +484,32 @@ func run() error {
 			rep.Contention512 = pt
 		case 1024:
 			rep.Contention1024 = pt
+		}
+	}
+
+	// Dataflow study: also virtual time, one deterministic pass per
+	// (app, placement policy) cell.
+	dagRows, err := r.DAGStudy()
+	if err != nil {
+		return err
+	}
+	for _, row := range dagRows {
+		blind, aware := row.Cell(dag.PolicyBlind), row.Cell(dag.PolicyDataAware)
+		pt := dagPoint{
+			BlindMakespanMS:    blind.MakespanMS,
+			AwareMakespanMS:    aware.MakespanMS,
+			BlindMigratedBytes: blind.MigratedBytes,
+			AwareMigratedBytes: aware.MigratedBytes,
+			AwareSpeedup:       row.AwareSpeedup,
+			BytesSavedPct:      row.BytesSaved,
+		}
+		switch row.App {
+		case "cholesky":
+			rep.DAGCholesky = pt
+		case "lu":
+			rep.DAGLu = pt
+		case "pipeline":
+			rep.DAGPipeline = pt
 		}
 	}
 

@@ -45,7 +45,7 @@ func run() error {
 	var (
 		seed    = flag.Int64("seed", 1, "workload and scheduler seed")
 		scale   = flag.Int("scale", 1, "workload scale multiplier")
-		only    = flag.String("only", "", "comma-separated experiments to run: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts, adaptive, contention")
+		only    = flag.String("only", "", "comma-separated experiments to run: fig3, fig4, fig5, fig6, fig7, table1, table2, table3, granularity, uts, adaptive, contention, dag")
 		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 		dq      = flag.String("deque", "mutex", "simulated worker-queue kind: "+strings.Join(distws.DequeKindNames(), ", "))
 	)
@@ -96,6 +96,7 @@ func run() error {
 			rows, err := r.ContentionStudy()
 			return expt.RenderContention(rows), err
 		}},
+		{"dag", func() (string, error) { rows, err := r.DAGStudy(); return expt.RenderDAG(rows), err }},
 	}
 
 	selected := func(name string) bool {

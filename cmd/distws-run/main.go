@@ -25,9 +25,11 @@ import (
 	"time"
 
 	"distws/internal/apps"
+	"distws/internal/apps/linalg"
 	"distws/internal/apps/suite"
 	"distws/internal/cliutil"
 	"distws/internal/core"
+	"distws/internal/dag"
 	"distws/internal/deque"
 	"distws/internal/fault"
 	"distws/internal/metrics"
@@ -46,8 +48,9 @@ func main() {
 
 func run() error {
 	var (
-		appName = flag.String("app", "dmg", "application (quicksort, turingring, kmeans, agglom, dmg, dmr, nbody, uts, or a micro app)")
+		appName = flag.String("app", "dmg", "application (quicksort, turingring, kmeans, agglom, dmg, dmr, nbody, uts, a micro app, or a dataflow app: cholesky, lu, pipeline)")
 		policy  = flag.String("policy", "distws", "scheduler: x10ws, distws, distws-ns, random, lifeline, adaptive")
+		dagPol  = flag.String("dag-policy", "blind", "dataflow placement for dag apps: "+strings.Join(dag.PolicyNames(), ", "))
 		dq      = flag.String("deque", "mutex", "worker-queue kind: "+strings.Join(deque.KindNames(), ", "))
 		mode    = flag.String("mode", "sim", "sim (virtual cluster) or runtime (real goroutine runtime)")
 		places  = flag.Int("places", 16, "number of places (nodes)")
@@ -94,8 +97,10 @@ func run() error {
 	if *list {
 		fmt.Println("paper suite:", strings.Join(suite.Names(), " "))
 		fmt.Println("micro suite:", strings.Join(microNames(), " "))
+		fmt.Println("dataflow suite:", strings.Join(linalg.Names(), " "))
 		fmt.Println("uts")
 		fmt.Println("policies:", strings.Join(policyNames(), " "))
+		fmt.Println("dag policies:", strings.Join(dag.PolicyNames(), " "))
 		return nil
 	}
 
@@ -109,10 +114,19 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("-deque %q: valid kinds are: %s", *dq, strings.Join(deque.KindNames(), " "))
 	}
+	pol, err := dag.ParsePolicy(*dagPol)
+	if err != nil {
+		return err
+	}
+	var dagApp linalg.App
 	app, err := suite.ByName(*appName, suite.Scale(*scale), *seed)
 	if err != nil {
-		return fmt.Errorf("-app %q: valid applications are: %s uts",
-			*appName, strings.Join(append(suite.Names(), microNames()...), " "))
+		dagApp, err = linalg.ByName(*appName, *seed)
+		if err != nil {
+			return fmt.Errorf("-app %q: valid applications are: %s uts %s",
+				*appName, strings.Join(append(suite.Names(), microNames()...), " "),
+				strings.Join(linalg.Names(), " "))
+		}
 	}
 	if *mode != "sim" && *mode != "runtime" {
 		return fmt.Errorf("-mode %q: valid modes are: sim runtime", *mode)
@@ -146,10 +160,14 @@ func run() error {
 		diag.Server().SetRecorder(rec)
 	}
 
-	switch *mode {
-	case "sim":
+	switch {
+	case dagApp != nil && *mode == "sim":
+		err = runDAGSim(dagApp, cl, k, dk, pol, *seed, plan, rec, diag.Server())
+	case dagApp != nil:
+		err = runDAGRuntime(dagApp, cl, k, dk, pol, *seed, *timeout)
+	case *mode == "sim":
 		err = runSim(app, cl, k, dk, *seed, plan, rec, diag.Server())
-	case "runtime":
+	default:
 		err = runRuntime(app, cl, k, dk, *seed, *timeout, plan, rec, diag.Server())
 	}
 	if err != nil {
@@ -240,6 +258,90 @@ func runRuntime(app apps.App, cl topology.Cluster, k sched.Kind, dk deque.Kind, 
 		return fmt.Errorf("checksum mismatch")
 	}
 	return nil
+}
+
+// runDAGSim simulates a dataflow app: the graph's tasks are released by
+// the dependency tracker and placed by -dag-policy.
+func runDAGSim(app linalg.App, cl topology.Cluster, k sched.Kind, dk deque.Kind, pol dag.Policy, seed int64, plan *fault.Plan, rec *obs.Recorder, srv *obs.Server) error {
+	start := time.Now()
+	g, err := app.Graph(cl.Places)
+	if err != nil {
+		return err
+	}
+	genTime := time.Since(start)
+	start = time.Now()
+	res, err := sim.RunDAG(g, cl, k, pol, sim.Options{Seed: seed, Deque: dk, Fault: plan, Recorder: rec})
+	if err != nil {
+		return err
+	}
+	simTime := time.Since(start)
+	srv.SetMetricsSource(func() metrics.Snapshot { return res.Counters })
+	srv.SetUtilizationSource(func() []float64 { return res.Utilization })
+
+	fmt.Printf("%s under %s/%s on %s (simulated dataflow)\n\n", app.Name(), k, pol, cl)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "tasks\t%d in %d blocks (%d input bytes total)\n",
+		g.NumTasks(), len(g.BlockBytes), totalInputBytes(g))
+	fmt.Fprintf(w, "sequential (virtual)\t%.2f ms\n", float64(res.SequentialNS)/1e6)
+	fmt.Fprintf(w, "makespan (virtual)\t%.2f ms\n", float64(res.MakespanNS)/1e6)
+	fmt.Fprintf(w, "speedup\t%.2f on %d workers\n", res.Speedup(), cl.Workers())
+	printCounters(w, res.Counters)
+	fmt.Fprintf(w, "utilization\t%s\n", metrics.FormatSeries(res.Utilization))
+	fmt.Fprintf(w, "host time\tgraph %v, sim %v\n", genTime.Round(time.Millisecond), simTime.Round(time.Millisecond))
+	return w.Flush()
+}
+
+// runDAGRuntime runs a dataflow app on the real goroutine runtime via
+// dag.Execute, verifying the bit-exact checksum against the sequential
+// reference.
+func runDAGRuntime(app linalg.App, cl topology.Cluster, k sched.Kind, dk deque.Kind, pol dag.Policy, seed int64, timeout time.Duration) error {
+	fmt.Printf("%s under %s/%s on %s (real runtime dataflow)\n\n", app.Name(), k, pol, cl)
+	want := app.Sequential()
+	rt, err := core.New(core.Config{Cluster: cl, Policy: k, Deque: dk, Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer rt.Shutdown()
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() { _ = rt.ShutdownContext(context.Background()) })
+		defer timer.Stop()
+	}
+	start := time.Now()
+	got, stats, err := app.Parallel(rt, pol)
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, core.ErrShutdown) && timeout > 0 {
+			return fmt.Errorf("run exceeded -timeout %v: %w", timeout, err)
+		}
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	status := "OK (matches sequential reference bit-exactly)"
+	if got != want {
+		status = fmt.Sprintf("MISMATCH: parallel %x vs sequential %x", got, want)
+	}
+	fmt.Fprintf(w, "result checksum\t%x\t%s\n", got, status)
+	fmt.Fprintf(w, "wall time\t%v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "dataflow\t%d released, %d resident hits, %d misses (%.1f%% hit), %d bytes fetched\n",
+		stats.Released, stats.ResidentHits, stats.ResidentMisses,
+		stats.ResidencyRate(), stats.FetchedBytes)
+	printCounters(w, rt.Metrics())
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("checksum mismatch")
+	}
+	return nil
+}
+
+// totalInputBytes sums every task's input payload for the run header.
+func totalInputBytes(g *dag.Graph) int64 {
+	var sum int64
+	for i := range g.Tasks {
+		sum += int64(g.InputBytes(i))
+	}
+	return sum
 }
 
 // buildPlan assembles the declarative fault schedule from the chaos
@@ -394,5 +496,10 @@ func printCounters(w *tabwriter.Writer, s metrics.Snapshot) {
 		fmt.Fprintf(w, "membership\t%d joins, %d drains, %d rejoins, %d tasks offloaded, %d duplicated messages\n",
 			s.MembershipJoins, s.MembershipDrains, s.MembershipRejoins,
 			s.TasksOffloaded, s.DuplicatedMessages)
+	}
+	if s.DAGTasksReleased > 0 {
+		fmt.Fprintf(w, "dag\t%d released, %d resident hits, %d misses (%.1f%% hit), %d bytes fetched\n",
+			s.DAGTasksReleased, s.DAGResidentHits, s.DAGResidentMisses,
+			s.DAGResidencyRate(), s.DAGFetchedBytes)
 	}
 }

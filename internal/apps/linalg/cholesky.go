@@ -1,0 +1,232 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"distws/internal/core"
+	"distws/internal/dag"
+)
+
+// Cholesky is the tiled right-looking Cholesky factorization A = L·Lᵀ of
+// a symmetric positive-definite matrix: the canonical dataflow
+// linear-algebra workload. Per elimination step k: POTRF factors the
+// diagonal tile, TRSM applies it down the panel, and SYRK/GEMM update
+// the trailing submatrix — each kernel a task whose dependencies follow
+// from the tiles it reads and writes.
+type Cholesky struct {
+	n, b int
+	seed int64
+}
+
+// NewCholesky returns the workload for an n×n matrix in b×b tiles
+// (b must divide n).
+func NewCholesky(n, b int, seed int64) *Cholesky {
+	if n <= 0 || b <= 0 || n%b != 0 {
+		panic(fmt.Sprintf("linalg: Cholesky n=%d b=%d, want b | n", n, b))
+	}
+	return &Cholesky{n: n, b: b, seed: seed}
+}
+
+// Name implements App.
+func (a *Cholesky) Name() string { return "cholesky" }
+
+func (a *Cholesky) tiles() int { return a.n / a.b }
+
+// tileID names tile (i, j) in the graph's block namespace.
+func tileID(i, j int) uint64 { return uint64(i+1)<<20 | uint64(j+1) }
+
+// generate materializes the lower tiles of a symmetric strictly
+// diagonally dominant matrix (off-diagonal entries in [0,1), diagonal
+// raised by n), which is positive definite, so the factorization never
+// hits a non-positive pivot.
+func (a *Cholesky) generate() [][]float64 {
+	T, b := a.tiles(), a.b
+	tiles := make([][]float64, T*T)
+	for ti := 0; ti < T; ti++ {
+		for tj := 0; tj <= ti; tj++ {
+			t := make([]float64, b*b)
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					gi, gj := ti*b+r, tj*b+c
+					lo, hi := gi, gj
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					v := hash01(a.seed, lo, hi)
+					if gi == gj {
+						v += float64(a.n)
+					}
+					t[r*b+c] = v
+				}
+			}
+			tiles[ti*T+tj] = t
+		}
+	}
+	return tiles
+}
+
+// potrf factors tile a in place: lower-triangular L with a[r][c] for
+// r >= c; the strictly-upper entries are left untouched.
+func potrf(a []float64, b int) {
+	for c := 0; c < b; c++ {
+		d := a[c*b+c]
+		for k := 0; k < c; k++ {
+			d -= a[c*b+k] * a[c*b+k]
+		}
+		d = math.Sqrt(d)
+		a[c*b+c] = d
+		for r := c + 1; r < b; r++ {
+			x := a[r*b+c]
+			for k := 0; k < c; k++ {
+				x -= a[r*b+k] * a[c*b+k]
+			}
+			a[r*b+c] = x / d
+		}
+	}
+}
+
+// trsmRT solves X·Lᵀ = A in place (A := A·L⁻ᵀ) against the lower
+// factor l.
+func trsmRT(l, a []float64, b int) {
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			x := a[r*b+c]
+			for m := 0; m < c; m++ {
+				x -= a[r*b+m] * l[c*b+m]
+			}
+			a[r*b+c] = x / l[c*b+c]
+		}
+	}
+}
+
+// syrkL updates the lower triangle of c with -a·aᵀ.
+func syrkL(a, c []float64, b int) {
+	for r := 0; r < b; r++ {
+		for s := 0; s <= r; s++ {
+			x := c[r*b+s]
+			for k := 0; k < b; k++ {
+				x -= a[r*b+k] * a[s*b+k]
+			}
+			c[r*b+s] = x
+		}
+	}
+}
+
+// gemmNT updates c with -a·btᵀ.
+func gemmNT(a, bt, c []float64, b int) {
+	for r := 0; r < b; r++ {
+		for s := 0; s < b; s++ {
+			x := c[r*b+s]
+			for k := 0; k < b; k++ {
+				x -= a[r*b+k] * bt[s*b+k]
+			}
+			c[r*b+s] = x
+		}
+	}
+}
+
+// build emits the task graph in right-looking program order; when tiles
+// is non-nil it also binds one kernel closure per task. The initial
+// tiles are distributed 2D block-cyclic (gridOwner) — the standard
+// physical layout — while declared task homes are round-robin in spawn
+// order: the placement a data-oblivious scheduler uses to spread load.
+// PolicyBlind runs exactly that; PolicyDataAware must rediscover the
+// tile locality from the block directory.
+func (a *Cholesky) build(places int, tiles [][]float64) (*dag.Graph, []func()) {
+	T, b := a.tiles(), a.b
+	b3 := int64(b) * int64(b) * int64(b)
+	owner := gridOwner(places)
+	g := &dag.Graph{
+		Name:       "cholesky",
+		BlockBytes: make(map[uint64]int, T*T),
+		Seed:       make(map[uint64]int, T*T),
+	}
+	for i := 0; i < T; i++ {
+		for j := 0; j <= i; j++ {
+			g.BlockBytes[tileID(i, j)] = b * b * 8
+			g.Seed[tileID(i, j)] = owner(i, j)
+		}
+	}
+	var ops []func()
+	add := func(label string, cost int64, in []uint64, out uint64, op func()) {
+		g.Tasks = append(g.Tasks, dag.Task{
+			ID:      len(g.Tasks),
+			Label:   label,
+			CostNS:  flopNS(cost),
+			Home:    len(g.Tasks) % places,
+			Inputs:  in,
+			Outputs: []uint64{out},
+		})
+		if tiles != nil {
+			ops = append(ops, op)
+		}
+	}
+	at := func(i, j int) []float64 {
+		if tiles == nil {
+			return nil
+		}
+		return tiles[i*T+j]
+	}
+	for k := 0; k < T; k++ {
+		k := k
+		add(fmt.Sprintf("potrf(%d)", k), b3/3,
+			[]uint64{tileID(k, k)}, tileID(k, k),
+			func() { potrf(at(k, k), b) })
+		for i := k + 1; i < T; i++ {
+			i := i
+			add(fmt.Sprintf("trsm(%d,%d)", i, k), b3,
+				[]uint64{tileID(k, k), tileID(i, k)}, tileID(i, k),
+				func() { trsmRT(at(k, k), at(i, k), b) })
+		}
+		for i := k + 1; i < T; i++ {
+			i := i
+			for j := k + 1; j <= i; j++ {
+				j := j
+				if i == j {
+					add(fmt.Sprintf("syrk(%d,%d)", i, k), b3,
+						[]uint64{tileID(i, k), tileID(i, i)}, tileID(i, i),
+						func() { syrkL(at(i, k), at(i, i), b) })
+				} else {
+					add(fmt.Sprintf("gemm(%d,%d,%d)", i, j, k), 2*b3,
+						[]uint64{tileID(i, k), tileID(j, k), tileID(i, j)}, tileID(i, j),
+						func() { gemmNT(at(i, k), at(j, k), at(i, j), b) })
+				}
+			}
+		}
+	}
+	return g, ops
+}
+
+// Graph implements App.
+func (a *Cholesky) Graph(places int) (*dag.Graph, error) {
+	g, _ := a.build(places, nil)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Sequential implements App: the same kernels in program order.
+func (a *Cholesky) Sequential() uint64 {
+	tiles := a.generate()
+	_, ops := a.build(1, tiles)
+	for _, op := range ops {
+		op()
+	}
+	return checksum(tiles)
+}
+
+// Parallel implements App.
+func (a *Cholesky) Parallel(rt *core.Runtime, pol dag.Policy) (uint64, dag.ExecStats, error) {
+	tiles := a.generate()
+	g, ops := a.build(rt.Places(), tiles)
+	stats, err := dag.Execute(rt, g, dag.ExecOptions{
+		Policy: pol,
+		Kernel: func(t *dag.Task) { ops[t.ID]() },
+	})
+	if err != nil {
+		return 0, stats, err
+	}
+	return checksum(tiles), stats, nil
+}

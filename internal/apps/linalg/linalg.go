@@ -1,0 +1,121 @@
+// Package linalg is the dataflow workload family the DAG task model
+// (internal/dag) exists for: tiled dense linear algebra — right-looking
+// Cholesky and LU factorizations — plus a multi-stage item pipeline.
+// These graphs cannot be expressed as fork-join Finish scopes: a tile's
+// consumers are released by its producer completing, not by a parent
+// returning, and the scheduler's placement choice is a genuine
+// data-movement-versus-load trade per task.
+//
+// Every app provides the same three faces as the fork-join suite
+// (internal/apps): a checksummed sequential reference, a parallel run on
+// the real runtime, and a graph for the simulator. The parallel
+// checksums are bit-exact against the sequential ones — the dependency
+// edges totally order all writes to each tile, so the floating-point
+// result is identical regardless of schedule — which makes the checksum
+// a scheduler-correctness test, not just a smoke test.
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"distws/internal/apps"
+	"distws/internal/core"
+	"distws/internal/dag"
+)
+
+// App is one dataflow benchmark.
+type App interface {
+	// Name returns the short name used in tables and flags
+	// ("cholesky", "lu", "pipeline").
+	Name() string
+	// Sequential runs the reference tiled-sequential implementation and
+	// returns its result checksum.
+	Sequential() uint64
+	// Parallel runs the app on rt under pol via dag.Execute and returns
+	// the result checksum — bit-identical to Sequential() — plus the
+	// run's data-movement stats.
+	Parallel(rt *core.Runtime, pol dag.Policy) (uint64, dag.ExecStats, error)
+	// Graph builds the app's dataflow graph for a cluster of places
+	// places: blocks seeded by the app's physical distribution, declared
+	// homes data-obliviously round-robin (see the builders' comments).
+	Graph(places int) (*dag.Graph, error)
+}
+
+// Suite returns the dataflow apps at their benchmark scales.
+func Suite(seed int64) []App {
+	return []App{
+		NewCholesky(512, 32, seed),
+		NewLU(384, 32, seed),
+		NewPipeline(64, 8, 2048, seed),
+	}
+}
+
+// ByName resolves one app by its table name.
+func ByName(name string, seed int64) (App, error) {
+	for _, a := range Suite(seed) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("linalg: unknown app %q (have cholesky, lu, pipeline)", name)
+}
+
+// Names lists the suite's app names.
+func Names() []string { return []string{"cholesky", "lu", "pipeline"} }
+
+// hash01 returns a deterministic pseudo-random value in [0, 1) from
+// (seed, i, j) — a splitmix64-style finalizer, so matrix generation is
+// O(1) per entry with no rng state to share.
+func hash01(seed int64, i, j int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9 + uint64(j+1)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// checksum folds the exact bit patterns of every value in every tile:
+// dataflow ordering makes parallel results bit-identical to sequential
+// ones, so no quantization is needed (or wanted — it would mask
+// scheduler-induced reorderings).
+func checksum(tiles [][]float64) uint64 {
+	h := apps.NewFnv()
+	for _, t := range tiles {
+		for _, v := range t {
+			h.Add(math.Float64bits(v))
+		}
+	}
+	return h.Sum()
+}
+
+// gridOwner returns the 2D block-cyclic owner map over places — the
+// ScaLAPACK-standard decomposition: tile (i, j) belongs to place
+// (i mod pr)·pc + (j mod pc) on the most-square pr×pc grid with
+// pr·pc = places. It balances both row and column panels across the
+// cluster, unlike 1D cyclic maps that collapse a whole panel onto one
+// place when the tile count divides the place count.
+func gridOwner(places int) func(i, j int) int {
+	pr := 1
+	for d := 1; d*d <= places; d++ {
+		if places%d == 0 {
+			pr = d
+		}
+	}
+	pc := places / pr
+	return func(i, j int) int { return (i%pr)*pc + (j % pc) }
+}
+
+// flopNS converts a kernel's flop count into modelled virtual
+// nanoseconds at 4 flops/ns — a contemporary core running a tuned
+// kernel — keeping tile transfer times (§ topology.DefaultNetwork) a
+// meaningful fraction of task cost, as they are on real clusters.
+func flopNS(flops int64) int64 {
+	ns := flops / 4
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}

@@ -1,0 +1,211 @@
+package linalg
+
+import (
+	"fmt"
+
+	"distws/internal/core"
+	"distws/internal/dag"
+)
+
+// LU is the tiled right-looking LU factorization A = L·U without
+// pivoting. Per elimination step k: GETRF factors the diagonal tile,
+// TRSM solves the row panel against L(k,k) and the column panel against
+// U(k,k), and GEMM updates the trailing submatrix. The generated matrix
+// is strictly diagonally dominant, which stays diagonally dominant
+// through elimination, so no pivot ever vanishes.
+type LU struct {
+	n, b int
+	seed int64
+}
+
+// NewLU returns the workload for an n×n matrix in b×b tiles (b must
+// divide n).
+func NewLU(n, b int, seed int64) *LU {
+	if n <= 0 || b <= 0 || n%b != 0 {
+		panic(fmt.Sprintf("linalg: LU n=%d b=%d, want b | n", n, b))
+	}
+	return &LU{n: n, b: b, seed: seed}
+}
+
+// Name implements App.
+func (a *LU) Name() string { return "lu" }
+
+func (a *LU) tiles() int { return a.n / a.b }
+
+func (a *LU) generate() [][]float64 {
+	T, b := a.tiles(), a.b
+	tiles := make([][]float64, T*T)
+	for ti := 0; ti < T; ti++ {
+		for tj := 0; tj < T; tj++ {
+			t := make([]float64, b*b)
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					gi, gj := ti*b+r, tj*b+c
+					v := hash01(a.seed, gi, gj)
+					if gi == gj {
+						v += float64(a.n)
+					}
+					t[r*b+c] = v
+				}
+			}
+			tiles[ti*T+tj] = t
+		}
+	}
+	return tiles
+}
+
+// getrf factors tile a in place into unit-lower L and upper U.
+func getrf(a []float64, b int) {
+	for k := 0; k < b; k++ {
+		piv := a[k*b+k]
+		for r := k + 1; r < b; r++ {
+			l := a[r*b+k] / piv
+			a[r*b+k] = l
+			for s := k + 1; s < b; s++ {
+				a[r*b+s] -= l * a[k*b+s]
+			}
+		}
+	}
+}
+
+// trsmLL solves L·X = A in place (A := L⁻¹·A) against the unit-lower
+// factor packed in lu.
+func trsmLL(lu, a []float64, b int) {
+	for c := 0; c < b; c++ {
+		for r := 0; r < b; r++ {
+			x := a[r*b+c]
+			for m := 0; m < r; m++ {
+				x -= lu[r*b+m] * a[m*b+c]
+			}
+			a[r*b+c] = x
+		}
+	}
+}
+
+// trsmRU solves X·U = A in place (A := A·U⁻¹) against the upper factor
+// packed in lu.
+func trsmRU(lu, a []float64, b int) {
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			x := a[r*b+c]
+			for m := 0; m < c; m++ {
+				x -= a[r*b+m] * lu[m*b+c]
+			}
+			a[r*b+c] = x / lu[c*b+c]
+		}
+	}
+}
+
+// gemmNN updates c with -a·bm.
+func gemmNN(a, bm, c []float64, b int) {
+	for r := 0; r < b; r++ {
+		for s := 0; s < b; s++ {
+			x := c[r*b+s]
+			for k := 0; k < b; k++ {
+				x -= a[r*b+k] * bm[k*b+s]
+			}
+			c[r*b+s] = x
+		}
+	}
+}
+
+// build emits the task graph in right-looking program order; see
+// (*Cholesky).build for the shared conventions (block-cyclic seeds,
+// round-robin data-oblivious homes).
+func (a *LU) build(places int, tiles [][]float64) (*dag.Graph, []func()) {
+	T, b := a.tiles(), a.b
+	b3 := int64(b) * int64(b) * int64(b)
+	owner := gridOwner(places)
+	g := &dag.Graph{
+		Name:       "lu",
+		BlockBytes: make(map[uint64]int, T*T),
+		Seed:       make(map[uint64]int, T*T),
+	}
+	for i := 0; i < T; i++ {
+		for j := 0; j < T; j++ {
+			g.BlockBytes[tileID(i, j)] = b * b * 8
+			g.Seed[tileID(i, j)] = owner(i, j)
+		}
+	}
+	var ops []func()
+	add := func(label string, cost int64, in []uint64, out uint64, op func()) {
+		g.Tasks = append(g.Tasks, dag.Task{
+			ID:      len(g.Tasks),
+			Label:   label,
+			CostNS:  flopNS(cost),
+			Home:    len(g.Tasks) % places,
+			Inputs:  in,
+			Outputs: []uint64{out},
+		})
+		if tiles != nil {
+			ops = append(ops, op)
+		}
+	}
+	at := func(i, j int) []float64 {
+		if tiles == nil {
+			return nil
+		}
+		return tiles[i*T+j]
+	}
+	for k := 0; k < T; k++ {
+		k := k
+		add(fmt.Sprintf("getrf(%d)", k), 2*b3/3,
+			[]uint64{tileID(k, k)}, tileID(k, k),
+			func() { getrf(at(k, k), b) })
+		for j := k + 1; j < T; j++ {
+			j := j
+			add(fmt.Sprintf("trsmL(%d,%d)", k, j), b3,
+				[]uint64{tileID(k, k), tileID(k, j)}, tileID(k, j),
+				func() { trsmLL(at(k, k), at(k, j), b) })
+		}
+		for i := k + 1; i < T; i++ {
+			i := i
+			add(fmt.Sprintf("trsmU(%d,%d)", i, k), b3,
+				[]uint64{tileID(k, k), tileID(i, k)}, tileID(i, k),
+				func() { trsmRU(at(k, k), at(i, k), b) })
+		}
+		for i := k + 1; i < T; i++ {
+			i := i
+			for j := k + 1; j < T; j++ {
+				j := j
+				add(fmt.Sprintf("gemm(%d,%d,%d)", i, j, k), 2*b3,
+					[]uint64{tileID(i, k), tileID(k, j), tileID(i, j)}, tileID(i, j),
+					func() { gemmNN(at(i, k), at(k, j), at(i, j), b) })
+			}
+		}
+	}
+	return g, ops
+}
+
+// Graph implements App.
+func (a *LU) Graph(places int) (*dag.Graph, error) {
+	g, _ := a.build(places, nil)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Sequential implements App: the same kernels in program order.
+func (a *LU) Sequential() uint64 {
+	tiles := a.generate()
+	_, ops := a.build(1, tiles)
+	for _, op := range ops {
+		op()
+	}
+	return checksum(tiles)
+}
+
+// Parallel implements App.
+func (a *LU) Parallel(rt *core.Runtime, pol dag.Policy) (uint64, dag.ExecStats, error) {
+	tiles := a.generate()
+	g, ops := a.build(rt.Places(), tiles)
+	stats, err := dag.Execute(rt, g, dag.ExecOptions{
+		Policy: pol,
+		Kernel: func(t *dag.Task) { ops[t.ID]() },
+	})
+	if err != nil {
+		return 0, stats, err
+	}
+	return checksum(tiles), stats, nil
+}

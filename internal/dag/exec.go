@@ -1,0 +1,158 @@
+package dag
+
+import (
+	"fmt"
+
+	"distws/internal/core"
+	"distws/internal/task"
+)
+
+// ExecOptions configures Execute.
+type ExecOptions struct {
+	// Policy selects locality-blind (declared homes) or data-aware
+	// (directory-scored) placement.
+	Policy Policy
+	// Kernel runs one task's computation. It executes on a runtime
+	// worker, possibly away from the task's home place; per-task data
+	// races are excluded by the dependency graph, not by Kernel.
+	Kernel func(t *Task)
+}
+
+// ExecStats reports the data-movement accounting of one Execute run,
+// mirroring the simulator's DAG counters with measured payload sizes.
+type ExecStats struct {
+	Released       int64 // tasks released into the scheduler
+	ResidentHits   int64 // input blocks resident at the executing place
+	ResidentMisses int64 // input blocks fetched from another place
+	FetchedBytes   int64 // bytes moved by those fetches
+}
+
+// ResidencyRate returns the hit fraction in percent (0 when nothing ran).
+func (s ExecStats) ResidencyRate() float64 {
+	total := s.ResidentHits + s.ResidentMisses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.ResidentHits) / float64(total)
+}
+
+// Execute runs dataflow graph g on the real goroutine runtime. A single
+// coordinator goroutine (the Finish body) owns the tracker and the block
+// directory: it launches the ready frontier, collects completions over a
+// channel, accounts residency at the place each task actually executed,
+// and releases dependents. The channel receive also publishes each
+// producer's writes to its consumers, so kernels need no locking of
+// their own.
+//
+// Placement under PolicyDataAware scores candidate places by the input
+// bytes that would have to move there plus a backlog estimate
+// (outstanding tasks × mean input payload) — the measured-bytes analogue
+// of the simulator's TransferNS scoring.
+func Execute(rt *core.Runtime, g *Graph, opts ExecOptions) (ExecStats, error) {
+	if err := g.Validate(); err != nil {
+		return ExecStats{}, err
+	}
+	if !opts.Policy.Valid() {
+		return ExecStats{}, fmt.Errorf("dag: invalid policy %v", opts.Policy)
+	}
+	places := rt.Places()
+	sch := NewSchedule(g)
+	tr := NewTracker(sch)
+	dir := NewDirectory(places)
+	dir.SeedFrom(g)
+
+	var meanBytes int64 = 1
+	if n := len(g.Tasks); n > 0 {
+		var total int64
+		for i := range g.Tasks {
+			total += int64(g.InputBytes(i))
+		}
+		if m := total / int64(n); m > 1 {
+			meanBytes = m
+		}
+	}
+
+	var stats ExecStats
+	type doneMsg struct{ id, place int }
+	done := make(chan doneMsg, len(g.Tasks))
+	outstanding := make([]int64, places)
+	backlog := make([]int64, places)
+	chosen := make([]int, len(g.Tasks))
+
+	pickHome := func(t int) int {
+		declared := g.Tasks[t].Home % places
+		if declared < 0 {
+			declared += places
+		}
+		if opts.Policy == PolicyBlind {
+			return declared
+		}
+		for p := range backlog {
+			backlog[p] = outstanding[p] * meanBytes
+		}
+		// The graph's declared home may exceed the runtime's place count;
+		// score against the wrapped one so the incumbent is placeable.
+		saved := g.Tasks[t].Home
+		g.Tasks[t].Home = declared
+		best := BestPlace(g, dir, t, backlog, func(b int) int64 { return int64(b) })
+		g.Tasks[t].Home = saved
+		return best
+	}
+
+	err := rt.Run(func(c *core.Ctx) {
+		c.Finish(func(fx *core.Ctx) {
+			launch := func(id int) {
+				h := pickHome(id)
+				chosen[id] = h
+				outstanding[h]++
+				stats.Released++
+				t := &g.Tasks[id]
+				fx.AsyncLoc(h, task.Locality{
+					Class:          task.Flexible,
+					Blocks:         t.Inputs,
+					MigrationBytes: g.InputBytes(id),
+				}, func(ac *core.Ctx) {
+					if opts.Kernel != nil {
+						opts.Kernel(t)
+					}
+					done <- doneMsg{id: id, place: ac.Place()}
+				})
+			}
+			for _, id := range tr.Ready(nil) {
+				launch(id)
+			}
+			var rel []int
+			for remaining := len(g.Tasks); remaining > 0; remaining-- {
+				m := <-done
+				outstanding[chosen[m.id]]--
+				for _, b := range g.Tasks[m.id].Inputs {
+					switch {
+					case dir.Resident(b, m.place):
+						stats.ResidentHits++
+					case dir.Anywhere(b):
+						stats.ResidentMisses++
+						stats.FetchedBytes += int64(g.BlockBytes[b])
+						dir.Replicate(b, m.place)
+					default:
+						// Never materialized anywhere: created in place.
+						stats.ResidentHits++
+					}
+				}
+				for _, b := range g.Tasks[m.id].Outputs {
+					dir.Produce(b, m.place)
+				}
+				rel = tr.Complete(m.id, rel[:0])
+				for _, id := range rel {
+					launch(id)
+				}
+			}
+		})
+	})
+	if err != nil {
+		return stats, fmt.Errorf("dag: executing %q: %w", g.Name, err)
+	}
+	if !tr.Done() {
+		return stats, fmt.Errorf("dag: %q finished with unreleased tasks", g.Name)
+	}
+	return stats, nil
+}

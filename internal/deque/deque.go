@@ -176,6 +176,44 @@ func (d *Shared[T]) StealChunkAppend(dst []T, k int) []T {
 	return dst
 }
 
+// StealBestAppend removes up to k elements chosen by score — highest
+// first, ties broken oldest-first — and appends them to dst, returning
+// the extended slice. It is the data-aware variant of StealChunkAppend:
+// a thief that knows which queued tasks' inputs are already resident
+// locally passes a score favouring them (e.g. negated fetch bytes).
+// Elements not taken keep their relative order, so with a constant
+// score the result is exactly StealChunkAppend.
+func (d *Shared[T]) StealBestAppend(dst []T, k int, score func(T) int64) []T {
+	if k <= 0 {
+		return dst
+	}
+	d.mu.Lock()
+	if k > d.r.n {
+		k = d.r.n
+	}
+	for i := 0; i < k; i++ {
+		mask := len(d.r.buf) - 1
+		bestAt := 0
+		bestScore := score(d.r.buf[d.r.head])
+		for j := 1; j < d.r.n; j++ {
+			if s := score(d.r.buf[(d.r.head+j)&mask]); s > bestScore {
+				bestAt, bestScore = j, s
+			}
+		}
+		v := d.r.buf[(d.r.head+bestAt)&mask]
+		// Close the gap: shift the elements older than the chosen one back
+		// by a slot, then drop the now-duplicated front. Order among the
+		// remaining elements is preserved.
+		for j := bestAt; j > 0; j-- {
+			d.r.buf[(d.r.head+j)&mask] = d.r.buf[(d.r.head+j-1)&mask]
+		}
+		d.r.popFront()
+		dst = append(dst, v)
+	}
+	d.mu.Unlock()
+	return dst
+}
+
 // Len returns the current number of queued elements.
 func (d *Shared[T]) Len() int {
 	d.mu.Lock()

@@ -108,6 +108,43 @@ func TestSharedStealChunkNonPositive(t *testing.T) {
 	}
 }
 
+func TestSharedStealBest(t *testing.T) {
+	var d Shared[int]
+	for _, v := range []int{10, 30, 20, 30} {
+		d.Push(v)
+	}
+	// Highest score first; the tied 30s come out oldest-first.
+	got := d.StealBestAppend(nil, 3, func(v int) int64 { return int64(v) })
+	if len(got) != 3 || got[0] != 30 || got[1] != 30 || got[2] != 20 {
+		t.Fatalf("StealBestAppend = %v, want [30 30 20]", got)
+	}
+	// The untaken remainder keeps FIFO order.
+	if v, ok := d.Poll(); !ok || v != 10 {
+		t.Fatalf("Poll after StealBestAppend = %v, %v", v, ok)
+	}
+	if got := d.StealBestAppend(nil, 2, func(int) int64 { return 0 }); len(got) != 0 {
+		t.Fatalf("StealBestAppend on empty = %v", got)
+	}
+}
+
+func TestSharedStealBestConstantScoreIsFIFO(t *testing.T) {
+	var a, b Shared[int]
+	for i := 0; i < 9; i++ {
+		a.Push(i)
+		b.Push(i)
+	}
+	fifo := a.StealChunkAppend(nil, 4)
+	best := b.StealBestAppend(nil, 4, func(int) int64 { return 7 })
+	for i := range fifo {
+		if fifo[i] != best[i] {
+			t.Fatalf("constant score diverged from FIFO: %v vs %v", fifo, best)
+		}
+	}
+	if got := b.StealBestAppend(nil, -1, func(int) int64 { return 0 }); got != nil {
+		t.Fatalf("StealBestAppend(-1) = %v, want nil", got)
+	}
+}
+
 func TestRingGrowthWrapAround(t *testing.T) {
 	var d Shared[int]
 	// Interleave pushes and polls to force head to wrap before growth.

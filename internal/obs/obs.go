@@ -134,30 +134,44 @@ const (
 	// by dispatch-level dedup. Task = the task id (-1 in the real
 	// runtime), Arg = the place that observed the duplicate.
 	KindDupTake
+	// KindDAGRelease marks a dataflow task's last dependency completing,
+	// releasing it into the scheduler. Task = the released task,
+	// Arg = its chosen home place.
+	KindDAGRelease
+	// KindDAGResidentHit marks a dataflow task starting with input blocks
+	// already resident at its executing place. Arg = the hit count.
+	KindDAGResidentHit
+	// KindDAGResidentMiss marks a dataflow task fetching non-resident
+	// input blocks before starting. Arg = the miss count, Dur = the
+	// modelled fetch time.
+	KindDAGResidentMiss
 	numKinds
 )
 
 var kindNames = [...]string{
-	KindTaskStart:   "task_start",
-	KindTaskEnd:     "task_end",
-	KindSpawn:       "spawn",
-	KindStealLocal:  "steal_local",
-	KindStealRemote: "steal_remote",
-	KindStealFail:   "steal_fail",
-	KindProbe:       "probe",
-	KindTimeout:     "timeout",
-	KindArrive:      "arrive",
-	KindCrash:       "crash",
-	KindReclassify:  "reclassify",
-	KindJoin:        "join",
-	KindDrain:       "drain",
-	KindPartition:   "partition",
-	KindHeal:        "heal",
-	KindJobAdmit:    "job_admit",
-	KindJobReject:   "job_reject",
-	KindJobDone:     "job_done",
-	KindDonate:      "donate",
-	KindDupTake:     "dup_take",
+	KindTaskStart:       "task_start",
+	KindTaskEnd:         "task_end",
+	KindSpawn:           "spawn",
+	KindStealLocal:      "steal_local",
+	KindStealRemote:     "steal_remote",
+	KindStealFail:       "steal_fail",
+	KindProbe:           "probe",
+	KindTimeout:         "timeout",
+	KindArrive:          "arrive",
+	KindCrash:           "crash",
+	KindReclassify:      "reclassify",
+	KindJoin:            "join",
+	KindDrain:           "drain",
+	KindPartition:       "partition",
+	KindHeal:            "heal",
+	KindJobAdmit:        "job_admit",
+	KindJobReject:       "job_reject",
+	KindJobDone:         "job_done",
+	KindDonate:          "donate",
+	KindDupTake:         "dup_take",
+	KindDAGRelease:      "dag_release",
+	KindDAGResidentHit:  "dag_hit",
+	KindDAGResidentMiss: "dag_miss",
 }
 
 // String returns the stable wire name of the kind (used by the native

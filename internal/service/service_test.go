@@ -347,6 +347,13 @@ func TestServiceChurnExactlyOnce(t *testing.T) {
 	}
 	wg.Wait()
 	<-churnDone
+	// The drain announcement races the tail of the stream: Drain() returns
+	// once the message is enqueued, not once the server has processed it,
+	// so wait for the counter before asserting on it.
+	for deadline := time.Now().Add(5 * time.Second); ctrs.MembershipDrains.Load() == 0 &&
+		time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
 
 	st := stats.Tenant(1)
 	if st.Admitted.Load() != total || st.Completed.Load() != total {

@@ -28,6 +28,7 @@ import (
 
 	"distws/internal/adapt"
 	"distws/internal/cachesim"
+	"distws/internal/dag"
 	"distws/internal/deque"
 	"distws/internal/fault"
 	"distws/internal/metrics"
@@ -300,6 +301,11 @@ type engine struct {
 	// same order, same state, no struct copies.
 	obsBuf    []adapt.StealObservation
 	obsDirect bool
+
+	// dag, when non-nil, runs the engine in dataflow mode (RunDAG): tasks
+	// are released by dependency completion instead of parent spawns, and
+	// data movement is accounted against the block directory. See dag.go.
+	dag *dagState
 }
 
 // getBatch returns a recycled evArrive payload slice (possibly nil; callers
@@ -339,8 +345,14 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 	if err := opts.Fault.Validate(cl.Places); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	return runEngine(g, cl, policy, opts, nil)
+}
 
-	e := &engine{g: g, cl: cl, policy: policy, opts: opts}
+// runEngine is the shared event loop behind Run and RunDAG. The caller
+// has validated its inputs and applied option defaults; ds selects
+// dataflow mode (nil for fork-join traces).
+func runEngine(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options, ds *dagState) (*Result, error) {
+	e := &engine{g: g, cl: cl, policy: policy, opts: opts, dag: ds}
 	e.rec = opts.Recorder
 	// Events are stamped with the event loop's virtual time via RecordAt
 	// (every record call runs inside its event's handler, so e.now is
@@ -437,12 +449,18 @@ func Run(g *trace.Graph, cl topology.Cluster, policy sched.Kind, opts Options) (
 		}
 	}
 
-	for _, r := range g.Roots {
-		home := g.Tasks[r].Home
-		if home < 0 || home >= cl.Places {
-			home = 0
+	if ds != nil {
+		// Dataflow mode: the initially ready tasks (in-degree zero) are
+		// the roots; each is homed by the run's placement policy.
+		e.dagRelease(ds.tracker.Ready(ds.relBuf[:0]), -1, -1)
+	} else {
+		for _, r := range g.Roots {
+			home := g.Tasks[r].Home
+			if home < 0 || home >= cl.Places {
+				home = 0
+			}
+			e.push(event{at: 0, kind: evSpawn, taskID: r, home: home, from: -1, fromW: -1})
 		}
-		e.push(event{at: 0, kind: evSpawn, taskID: r, home: home, from: -1, fromW: -1})
 	}
 
 	for e.events.len() > 0 && e.tasksDone < len(g.Tasks) {
@@ -661,6 +679,12 @@ func (e *engine) handleDone(ev event) {
 	e.record(w.place.id, w.local, obs.KindTaskEnd, int32(ev.taskID), 0, 0)
 	if e.now > e.lastDone {
 		e.lastDone = e.now
+	}
+	if e.dag != nil {
+		// Dependency completion releases dependents even when this place
+		// is draining or about to crash: the released tasks are homed (and
+		// if need be re-homed by handleSpawn) on survivors.
+		e.dagComplete(ev.taskID, w)
 	}
 	if n, ok := e.inj.CrashAfterTasks(w.place.id); ok && w.place.executed >= n {
 		e.crashPlace(w.place)
@@ -999,7 +1023,15 @@ func (e *engine) stealRemote(w *simWorker) bool {
 			e.ctrs.StealRequests.Add(1)
 			chunkSize = sched.StealHalf(victim.shared.Len())
 		}
-		chunk := victim.shared.StealChunkAppend(e.stealBuf[:0], chunkSize)
+		var chunk []int
+		if e.dag != nil && e.dag.pol == dag.PolicyDataAware && !receiver {
+			// Data-aware steal: take the queued tasks whose inputs are
+			// already resident at the thief (fewest fetch bytes first,
+			// ties oldest-first) instead of blindly taking the oldest.
+			chunk = victim.shared.StealBestAppend(e.stealBuf[:0], chunkSize, e.dagStealScore(w.place.id))
+		} else {
+			chunk = victim.shared.StealChunkAppend(e.stealBuf[:0], chunkSize)
+		}
 		e.stealBuf = chunk[:0]
 		if receiver && len(chunk) > 0 {
 			e.ctrs.Donations.Add(1)
@@ -1214,6 +1246,11 @@ func (e *engine) start(w *simWorker, id int, startDelay int64) {
 		// Bookkeeping for the dual-deque scheme and load exploration
 		// (the single-node overhead the paper reports).
 		service += e.cl.Over.MapDecisionNS
+	}
+	if e.dag != nil {
+		// Dataflow mode: non-resident input blocks are fetched before the
+		// task runs, at the network's modelled transfer cost.
+		service += e.dagFetch(id, w)
 	}
 
 	// A task is migrated when it executes away from its home place as

@@ -114,13 +114,19 @@ func (r *Registry) Lookup(name string) (Func, bool) {
 	return fn, ok
 }
 
-// Names returns the number of registered functions (for diagnostics).
-func (r *Registry) Names() int {
+// Len returns the number of registered functions (for diagnostics).
+func (r *Registry) Len() int {
 	r.mu.RLock()
 	n := len(r.fns)
 	r.mu.RUnlock()
 	return n
 }
+
+// Names returns the number of registered functions.
+//
+// Deprecated: the name is a historical accident — it never returned
+// names, only their count. Use Len.
+func (r *Registry) Names() int { return r.Len() }
 
 // Envelope is the wire representation of a task spawned across a process
 // boundary: the registered function name, its encoded argument, and the
@@ -137,24 +143,12 @@ type Envelope struct {
 	// so concurrent tenants' work stays attributable end to end. Zero for
 	// single-tenant batch runs.
 	Tenant uint32
-}
-
-// Encode serializes the envelope with gob.
-func (e *Envelope) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
-		return nil, fmt.Errorf("task: encoding envelope %q: %w", e.Name, err)
-	}
-	return buf.Bytes(), nil
-}
-
-// DecodeEnvelope deserializes an envelope produced by Encode.
-func DecodeEnvelope(p []byte) (*Envelope, error) {
-	var e Envelope
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&e); err != nil {
-		return nil, fmt.Errorf("task: decoding envelope: %w", err)
-	}
-	return &e, nil
+	// Inputs and Outputs are the dataflow block ids a DAG task
+	// (internal/dag) reads and writes, so a remotely spawned dataflow
+	// task carries its dependency footprint with it. Empty for fork-join
+	// tasks.
+	Inputs  []uint64
+	Outputs []uint64
 }
 
 // GobSize returns the number of bytes v occupies when gob-encoded, used to

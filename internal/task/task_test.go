@@ -35,8 +35,11 @@ func TestRegistryRegisterLookup(t *testing.T) {
 	if _, ok := r.Lookup("missing"); ok {
 		t.Fatalf("Lookup of unregistered name should fail")
 	}
-	if r.Names() != 1 {
-		t.Fatalf("Names() = %d, want 1", r.Names())
+	if r.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", r.Len())
+	}
+	if r.Names() != r.Len() { // deprecated alias must agree
+		t.Fatalf("Names() = %d, Len() = %d", r.Names(), r.Len())
 	}
 }
 
@@ -68,12 +71,15 @@ func assertPanics(t *testing.T, f func()) {
 
 func TestEnvelopeRoundTrip(t *testing.T) {
 	in := &Envelope{
-		Name:   "apps.kmeans.assign",
-		Arg:    []byte{1, 2, 3, 4},
-		Home:   3,
-		Origin: 0,
-		Class:  Flexible,
-		Blocks: []uint64{10, 11, 12},
+		Name:    "apps.kmeans.assign",
+		Arg:     []byte{1, 2, 3, 4},
+		Home:    3,
+		Origin:  0,
+		Class:   Flexible,
+		Blocks:  []uint64{10, 11, 12},
+		Tenant:  7,
+		Inputs:  []uint64{1 << 40, 2},
+		Outputs: []uint64{3},
 	}
 	p, err := in.Encode()
 	if err != nil {
@@ -84,7 +90,10 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		t.Fatalf("DecodeEnvelope: %v", err)
 	}
 	if out.Name != in.Name || out.Home != in.Home || out.Origin != in.Origin ||
-		out.Class != in.Class || len(out.Arg) != 4 || len(out.Blocks) != 3 {
+		out.Class != in.Class || out.Tenant != in.Tenant ||
+		len(out.Arg) != 4 || len(out.Blocks) != 3 ||
+		len(out.Inputs) != 2 || out.Inputs[0] != 1<<40 ||
+		len(out.Outputs) != 1 || out.Outputs[0] != 3 {
 		t.Fatalf("round-trip mismatch: %+v vs %+v", out, in)
 	}
 }
@@ -96,13 +105,15 @@ func TestDecodeEnvelopeGarbage(t *testing.T) {
 }
 
 // Property: Envelope round-trips for arbitrary payloads and metadata.
+// Home and Origin are int32 on the wire — place ids are small — so the
+// generator draws from that range.
 func TestEnvelopeRoundTripProperty(t *testing.T) {
-	f := func(name string, arg []byte, home, origin int, flexible bool) bool {
+	f := func(name string, arg []byte, home, origin int32, flexible bool) bool {
 		class := Sensitive
 		if flexible {
 			class = Flexible
 		}
-		in := &Envelope{Name: name, Arg: arg, Home: home, Origin: origin, Class: class}
+		in := &Envelope{Name: name, Arg: arg, Home: int(home), Origin: int(origin), Class: class}
 		p, err := in.Encode()
 		if err != nil {
 			return false

@@ -30,6 +30,40 @@ func TestTransferNSZeroBandwidth(t *testing.T) {
 	}
 }
 
+func TestTransferNSNegativeBandwidth(t *testing.T) {
+	// A misconfigured (negative) bandwidth must behave like the zero
+	// case — latency only — not divide into a negative transfer time.
+	n := Network{LatencyNS: 42, BytesPerNS: -3}
+	if got := n.TransferNS(1 << 20); got != 42 {
+		t.Fatalf("negative bandwidth should degrade to latency-only, got %d", got)
+	}
+}
+
+func TestTransferNSNegativePayloadWithOverhead(t *testing.T) {
+	// The clamp applies to the payload alone: the per-message overhead
+	// still transfers.
+	n := Network{LatencyNS: 100, BytesPerNS: 1, MsgOverheadBytes: 64}
+	if got := n.TransferNS(-1 << 30); got != 164 {
+		t.Fatalf("TransferNS(negative) = %d, want 164 (latency + overhead)", got)
+	}
+}
+
+func TestRoundTripNSEdgeCases(t *testing.T) {
+	// Each leg clamps its payload independently.
+	n := Network{LatencyNS: 10, BytesPerNS: 1}
+	if got, want := n.RoundTripNS(-5, 3), int64(10+10+3); got != want {
+		t.Fatalf("RoundTripNS(-5, 3) = %d, want %d", got, want)
+	}
+	if got, want := n.RoundTripNS(-5, -3), int64(10+10); got != want {
+		t.Fatalf("RoundTripNS(-5, -3) = %d, want %d", got, want)
+	}
+	// Zero bandwidth degrades both legs to latency-only.
+	n = Network{LatencyNS: 7}
+	if got, want := n.RoundTripNS(1<<20, 1<<20), int64(14); got != want {
+		t.Fatalf("RoundTripNS at zero bandwidth = %d, want %d", got, want)
+	}
+}
+
 func TestTransferNSIncludesOverhead(t *testing.T) {
 	n := Network{LatencyNS: 0, BytesPerNS: 1, MsgOverheadBytes: 64}
 	if got := n.TransferNS(0); got != 64 {
